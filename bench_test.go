@@ -1,0 +1,191 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// table (plus ablations). They exercise the same code paths as
+// cmd/benchtables at a reduced scale so `go test -bench=.` completes in
+// minutes; run cmd/benchtables for full-scale numbers.
+package minoaner_test
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/baseline"
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/experiments"
+	"minoaner/internal/linda"
+	"minoaner/internal/paris"
+	"minoaner/internal/rimom"
+	"minoaner/internal/sigma"
+)
+
+// benchScale keeps a full -bench=. run to a couple of minutes.
+const benchScale = 0.1
+
+var benchDatasets map[string]*datagen.Dataset
+
+func dataset(b *testing.B, name string) *datagen.Dataset {
+	b.Helper()
+	if benchDatasets == nil {
+		benchDatasets = make(map[string]*datagen.Dataset)
+	}
+	if ds, ok := benchDatasets[name]; ok {
+		return ds
+	}
+	g, ok := datagen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown dataset %q", name)
+	}
+	ds, err := g.Build(datagen.Options{Seed: 42, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDatasets[name] = ds
+	return ds
+}
+
+func eachDataset(b *testing.B, fn func(b *testing.B, ds *datagen.Dataset)) {
+	for _, g := range datagen.Generators() {
+		g := g
+		b.Run(g.Name, func(b *testing.B) {
+			fn(b, dataset(b, g.Name))
+		})
+	}
+}
+
+// BenchmarkTableI_Generate measures dataset synthesis (the substrate
+// behind Table I).
+func BenchmarkTableI_Generate(b *testing.B) {
+	for _, g := range datagen.Generators() {
+		g := g
+		b.Run(g.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Build(datagen.Options{Seed: 42, Scale: benchScale}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableII_Blocking measures Name + Token blocking with purging
+// and the block statistics of Table II.
+func BenchmarkTableII_Blocking(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := experiments.BlockStats(ds)
+			if r.UnionStats.Recall == 0 {
+				b.Fatal("no recall")
+			}
+		}
+	})
+}
+
+// BenchmarkTableIII benchmarks regenerate the method-comparison rows of
+// Table III, one per system.
+
+func BenchmarkTableIII_MinoanER(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		cfg := core.DefaultConfig()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewMatcher(ds.KB1, ds.KB2, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportF1(b, m.Run().Matches, ds)
+		}
+	})
+}
+
+func BenchmarkTableIII_BSL(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		cfg := baseline.DefaultConfig()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := baseline.Run(ds.KB1, ds.KB2, ds.GT, cfg)
+			reportF1(b, res.BestMatches, ds)
+		}
+	})
+}
+
+func BenchmarkTableIII_PARIS(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reportF1(b, paris.Run(ds.KB1, ds.KB2, paris.DefaultConfig()), ds)
+		}
+	})
+}
+
+func BenchmarkTableIII_SiGMa(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reportF1(b, sigma.Run(ds.KB1, ds.KB2, sigma.DefaultConfig()), ds)
+		}
+	})
+}
+
+func BenchmarkTableIII_LINDA(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reportF1(b, linda.Run(ds.KB1, ds.KB2, linda.DefaultConfig()), ds)
+		}
+	})
+}
+
+func BenchmarkTableIII_RiMOM(b *testing.B) {
+	eachDataset(b, func(b *testing.B, ds *datagen.Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reportF1(b, rimom.Run(ds.KB1, ds.KB2, rimom.DefaultConfig()), ds)
+		}
+	})
+}
+
+func reportF1(b *testing.B, matches []eval.Pair, ds *datagen.Dataset) {
+	b.Helper()
+	m := eval.Evaluate(matches, ds.GT)
+	b.ReportMetric(100*m.F1, "F1%")
+}
+
+// BenchmarkAblation measures the cost and quality of each MinoanER
+// variant on the heterogeneous Music dataset — the design choices
+// DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	ds := dataset(b, "BBCmusic-DBpedia")
+	for _, v := range experiments.Variants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := experiments.RunVariant(ds, v)
+				b.ReportMetric(100*m.F1, "F1%")
+			}
+		})
+	}
+}
+
+// BenchmarkWorkers measures the scaling of the parallel candidate
+// scorer (the engineering extension the non-iterative design enables).
+func BenchmarkWorkers(b *testing.B) {
+	ds := dataset(b, "YAGO-IMDb")
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewMatcher(ds.KB1, ds.KB2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Run()
+			}
+		})
+	}
+}

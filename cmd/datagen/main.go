@@ -1,0 +1,63 @@
+// Command datagen writes one of the synthetic benchmark stand-ins to
+// disk as two N-Triples files plus a ground-truth CSV, ready for
+// cmd/minoaner.
+//
+// Usage:
+//
+//	datagen -dataset Restaurant -out ./data [-seed 42] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"minoaner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	var (
+		dataset = flag.String("dataset", "Restaurant", "benchmark name: "+strings.Join(minoaner.BenchmarkNames(), ", "))
+		out     = flag.String("out", ".", "output directory")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		scale   = flag.Float64("scale", 1.0, "size multiplier")
+	)
+	flag.Parse()
+
+	b, err := minoaner.GenerateBenchmark(*dataset, *seed, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	slug := strings.ToLower(strings.ReplaceAll(b.Name, "-", "_"))
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return path
+	}
+	p1 := write(slug+"_kb1.nt", func(f *os.File) error { return b.WriteKB1(f) })
+	p2 := write(slug+"_kb2.nt", func(f *os.File) error { return b.WriteKB2(f) })
+	pg := write(slug+"_gt.csv", func(f *os.File) error { return b.WriteGroundTruth(f) })
+
+	fmt.Printf("%s: KB1 %d entities, KB2 %d entities, %d matches\n",
+		b.Name, b.KB1.Len(), b.KB2.Len(), b.GroundTruth.Len())
+	fmt.Printf("wrote %s, %s, %s\n", p1, p2, pg)
+}

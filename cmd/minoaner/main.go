@@ -1,0 +1,127 @@
+// Command minoaner resolves the entities of two N-Triples knowledge
+// bases and prints the matches (and, when a ground truth is supplied,
+// precision / recall / F1).
+//
+// Usage:
+//
+//	minoaner -kb1 first.nt -kb2 second.nt [-gt truth.csv] [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"minoaner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("minoaner: ")
+
+	var (
+		kb1Path = flag.String("kb1", "", "first KB (N-Triples file, required)")
+		kb2Path = flag.String("kb2", "", "second KB (N-Triples file, required)")
+		gtPath  = flag.String("gt", "", "optional ground truth CSV (uri1,uri2 lines)")
+		k       = flag.Int("k", 15, "candidates kept per entity per evidence type (K)")
+		n       = flag.Int("n", 3, "most important relations per entity (N)")
+		nameK   = flag.Int("names", 2, "top attributes per KB serving as names (k)")
+		theta   = flag.Float64("theta", 0.6, "value-vs-neighbor rank trade-off (θ)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		noH1    = flag.Bool("no-h1", false, "disable the name heuristic")
+		noH2    = flag.Bool("no-h2", false, "disable the value heuristic")
+		noH3    = flag.Bool("no-h3", false, "disable rank aggregation")
+		noH4    = flag.Bool("no-h4", false, "disable the reciprocity filter")
+		quiet   = flag.Bool("quiet", false, "suppress the match listing")
+		cache   = flag.Bool("cache", false, "cache parsed KBs next to the input as <file>.mkb and reuse them")
+	)
+	flag.Parse()
+	if *kb1Path == "" || *kb2Path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	load := loadPlain
+	if *cache {
+		load = loadCached
+	}
+	kb1, err := load("KB1", *kb1Path)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *kb1Path, err)
+	}
+	kb2, err := load("KB2", *kb2Path)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *kb2Path, err)
+	}
+	fmt.Fprintf(os.Stderr, "KB1: %+v\n", kb1.Stats())
+	fmt.Fprintf(os.Stderr, "KB2: %+v\n", kb2.Stats())
+
+	cfg := minoaner.DefaultConfig()
+	cfg.K = *k
+	cfg.N = *n
+	cfg.NameAttributes = *nameK
+	cfg.Theta = *theta
+	cfg.Workers = *workers
+	cfg.DisableH1 = *noH1
+	cfg.DisableH2 = *noH2
+	cfg.DisableH3 = *noH3
+	cfg.DisableH4 = *noH4
+
+	res, err := minoaner.Resolve(kb1, kb2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		for _, m := range res.Matches {
+			fmt.Printf("%s,%s\n", m.URI1, m.URI2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "matches: %d (H1=%d H2=%d H3=%d, H4 discarded %d)\n",
+		len(res.Matches), res.ByName, res.ByValue, res.ByRank, res.DiscardedByReciprocity)
+	fmt.Fprintf(os.Stderr, "blocks: |BN|=%d ||BN||=%d |BT|=%d ||BT||=%d purged=%d\n",
+		res.NameBlocks, res.NameComparisons, res.TokenBlocks, res.TokenComparisons, res.PurgedBlocks)
+
+	if *gtPath != "" {
+		gt, err := minoaner.LoadGroundTruthFile(kb1, kb2, *gtPath)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *gtPath, err)
+		}
+		m := res.Evaluate(gt)
+		fmt.Fprintf(os.Stderr, "evaluation: %s (TP=%d FP=%d FN=%d of %d)\n",
+			m, m.TP, m.FP, m.FN, gt.Len())
+	}
+}
+
+func loadPlain(name, path string) (*minoaner.KB, error) {
+	return minoaner.LoadKBFile(name, path)
+}
+
+// loadCached reuses <path>.mkb when it exists; otherwise it parses the
+// N-Triples file and writes the cache for the next run.
+func loadCached(name, path string) (*minoaner.KB, error) {
+	cachePath := path + ".mkb"
+	if f, err := os.Open(cachePath); err == nil {
+		defer f.Close()
+		kb, err := minoaner.ReadKBBinary(f)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "loaded %s from cache %s\n", name, cachePath)
+			return kb, nil
+		}
+		fmt.Fprintf(os.Stderr, "cache %s unusable (%v); re-parsing\n", cachePath, err)
+	}
+	kb, err := minoaner.LoadKBFile(name, path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(cachePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cannot write cache %s: %v\n", cachePath, err)
+		return kb, nil
+	}
+	defer f.Close()
+	if err := kb.WriteBinary(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot write cache %s: %v\n", cachePath, err)
+	}
+	return kb, nil
+}

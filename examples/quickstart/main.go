@@ -1,0 +1,57 @@
+// Quickstart: resolve two tiny in-memory knowledge bases with the
+// default MinoanER configuration and print every match.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"minoaner"
+)
+
+// Two toy KBs describing the same three entities with different
+// vocabularies: a restaurant, a cafe, and the city both are located in.
+// Note that no attribute or relation name is shared between the KBs —
+// MinoanER never looks at them.
+const kbA = `
+<http://a/joes> <http://va/name> "Joe's Diner" .
+<http://a/joes> <http://va/phone> "555-1234" .
+<http://a/joes> <http://va/locatedIn> <http://a/springfield> .
+<http://a/central> <http://va/name> "Central Cafe" .
+<http://a/central> <http://va/locatedIn> <http://a/springfield> .
+<http://a/springfield> <http://va/cityName> "Springfield" .
+`
+
+const kbB = `
+<http://b/42> <http://vb/title> "joe s diner" .
+<http://b/42> <http://vb/telephone> "555 1234" .
+<http://b/42> <http://vb/city> <http://b/900> .
+<http://b/77> <http://vb/title> "central cafe" .
+<http://b/77> <http://vb/city> <http://b/900> .
+<http://b/900> <http://vb/label> "Springfield" .
+`
+
+func main() {
+	kb1, err := minoaner.LoadKB("A", strings.NewReader(kbA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb2, err := minoaner.LoadKB("B", strings.NewReader(kbB))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := minoaner.Resolve(kb1, kb2, minoaner.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("resolved %d matches (names=%d values=%d ranks=%d):\n",
+		len(res.Matches), res.ByName, res.ByValue, res.ByRank)
+	for _, m := range res.Matches {
+		fmt.Printf("  %-22s <-> %s\n", m.URI1, m.URI2)
+	}
+}

@@ -1,0 +1,139 @@
+package minoaner_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"minoaner"
+)
+
+// TestAllBenchmarksEndToEnd drives the public API through every
+// synthetic benchmark and checks the headline quality bars from
+// EXPERIMENTS.md.
+func TestAllBenchmarksEndToEnd(t *testing.T) {
+	minF1 := map[string]float64{
+		"Restaurant":       0.95,
+		"Rexa-DBLP":        0.93,
+		"BBCmusic-DBpedia": 0.80,
+		"YAGO-IMDb":        0.90,
+	}
+	for _, name := range minoaner.BenchmarkNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := minoaner.GenerateBenchmark(name, 42, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := minoaner.Resolve(b.KB1, b.KB2, minoaner.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Evaluate(b.GroundTruth)
+			if m.F1 < minF1[name] {
+				t.Errorf("%s F1 = %.3f, want >= %.2f (%v)", name, m.F1, minF1[name], m)
+			}
+			if res.TokenBlocks == 0 {
+				t.Error("no token blocks")
+			}
+		})
+	}
+}
+
+// TestWorkerInvarianceEndToEnd: identical results at every parallelism
+// level, through the public API.
+func TestWorkerInvarianceEndToEnd(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("BBCmusic-DBpedia", 9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []minoaner.Match
+	for _, workers := range []int{1, 3, 8} {
+		cfg := minoaner.DefaultConfig()
+		cfg.Workers = workers
+		res, err := minoaner.Resolve(b.KB1, b.KB2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res.Matches
+			continue
+		}
+		if !reflect.DeepEqual(base, res.Matches) {
+			t.Fatalf("workers=%d changed the result", workers)
+		}
+	}
+}
+
+// TestSeedInvariance: generating the same benchmark twice yields
+// byte-identical serializations.
+func TestSeedInvariance(t *testing.T) {
+	render := func() string {
+		b, err := minoaner.GenerateBenchmark("Rexa-DBLP", 4, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := b.WriteKB1(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteGroundTruth(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestLoadKBLenient(t *testing.T) {
+	doc := `<http://a/x> <http://v/p> "good" .
+this line is garbage
+<http://a/y> <http://v/p> "also good" .
+<http://a/z> <http://v/p> broken
+`
+	kb, skipped, err := minoaner.LoadKBLenient("dirty", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.Len() != 2 {
+		t.Errorf("entities = %d, want 2", kb.Len())
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+}
+
+// TestHeuristicComplementarity: on the heterogeneous pair, the full
+// configuration dominates every single-heuristic configuration —
+// the paper's core claim that the evidence types are complementary.
+func TestHeuristicComplementarity(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("BBCmusic-DBpedia", 42, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := minoaner.Resolve(b.KB1, b.KB2, minoaner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullF1 := full.Evaluate(b.GroundTruth).F1
+
+	only := func(h string) minoaner.Config {
+		cfg := minoaner.DefaultConfig()
+		cfg.DisableH1 = h != "H1"
+		cfg.DisableH2 = h != "H2"
+		cfg.DisableH3 = h != "H3"
+		return cfg
+	}
+	for _, h := range []string{"H1", "H2"} {
+		res, err := minoaner.Resolve(b.KB1, b.KB2, only(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1 := res.Evaluate(b.GroundTruth).F1
+		if f1 >= fullF1 {
+			t.Errorf("%s alone (%.3f) should trail the full pipeline (%.3f)", h, f1, fullF1)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package baseline implements BSL, the value-only baseline of the
+// paper's evaluation (§IV): it receives the same blocks as MinoanER
+// (B_N ∪ B_T), compares every co-occurring pair of descriptions under a
+// grid of schema-agnostic configurations — token n-grams × weighting
+// scheme × similarity measure × similarity threshold — clusters each
+// configuration's scores with Unique Mapping Clustering, and reports
+// the configuration with the highest F1. Unlike MinoanER, BSL uses no
+// name or neighbor evidence, which is exactly why it collapses on KBs
+// whose matches have low value similarity.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/cluster"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/similarity"
+)
+
+// Config is the sweep grid. The defaults follow the paper: n ∈ {1,2,3},
+// TF and TF-IDF weights, the four measures, and thresholds in [0,1)
+// with a step of 0.05.
+type Config struct {
+	NGrams     []int
+	Schemes    []similarity.Scheme
+	Measures   []similarity.Measure
+	Thresholds []float64
+	// NameK is the k used to build B_N (2, as in MinoanER's input).
+	NameK int
+	// Purge configures the Block Purging applied to B_T.
+	Purge blocking.PurgeConfig
+}
+
+// DefaultConfig returns the paper's sweep grid.
+func DefaultConfig() Config {
+	thresholds := make([]float64, 0, 20)
+	for t := 0.0; t < 1.0; t += 0.05 {
+		thresholds = append(thresholds, t)
+	}
+	return Config{
+		NGrams:     []int{1, 2, 3},
+		Schemes:    []similarity.Scheme{similarity.TF, similarity.TFIDF},
+		Measures:   similarity.AllMeasures,
+		Thresholds: thresholds,
+		NameK:      2,
+		Purge:      blocking.DefaultPurgeConfig(),
+	}
+}
+
+// ConfigResult is the outcome of one grid point.
+type ConfigResult struct {
+	NGram     int
+	Scheme    similarity.Scheme
+	Measure   similarity.Measure
+	Threshold float64
+	Metrics   eval.Metrics
+}
+
+// String identifies the configuration compactly.
+func (c ConfigResult) String() string {
+	return fmt.Sprintf("%d-gram/%s/%s/t=%.2f: %s", c.NGram, c.Scheme, c.Measure, c.Threshold, c.Metrics)
+}
+
+// Result is the sweep outcome.
+type Result struct {
+	// Best is the grid point with the highest F1 (ties: first in sweep
+	// order), as the paper reports BSL.
+	Best ConfigResult
+	// BestMatches are the matches of the best configuration.
+	BestMatches []eval.Pair
+	// Configs holds every grid point's metrics in sweep order.
+	Configs []ConfigResult
+	// CandidatePairs is the number of distinct co-occurring pairs
+	// compared.
+	CandidatePairs int
+}
+
+// Run executes the sweep. The ground truth is used only for selecting
+// the best configuration, mirroring the paper's oracle-style tuning of
+// BSL.
+func Run(kb1, kb2 *kb.KB, gt *eval.GroundTruth, cfg Config) *Result {
+	pairs := candidatePairs(kb1, kb2, cfg)
+	res := &Result{CandidatePairs: len(pairs)}
+	bestF1 := -1.0
+
+	for _, n := range cfg.NGrams {
+		for _, scheme := range cfg.Schemes {
+			profiles := similarity.BuildProfiles(kb1, kb2, n, scheme)
+			for _, measure := range cfg.Measures {
+				scored := scorePairs(pairs, profiles, measure)
+				accepted := cluster.UniqueMappingScored(scored, 0)
+				for _, th := range cfg.Thresholds {
+					matches := prefixAtThreshold(accepted, th)
+					m := eval.Evaluate(matches, gt)
+					cr := ConfigResult{NGram: n, Scheme: scheme, Measure: measure, Threshold: th, Metrics: m}
+					res.Configs = append(res.Configs, cr)
+					if m.F1 > bestF1 {
+						bestF1 = m.F1
+						res.Best = cr
+						res.BestMatches = matches
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// candidatePairs enumerates the distinct co-occurring pairs of
+// B_N ∪ B_T — the same input MinoanER receives.
+func candidatePairs(kb1, kb2 *kb.KB, cfg Config) []eval.Pair {
+	bn := blocking.NameBlocks(kb1, kb2, cfg.NameK)
+	bt := blocking.TokenBlocks(kb1, kb2)
+	bt, _ = blocking.Purge(bt, cfg.Purge)
+	union := blocking.Union("N:", bn, "T:", bt)
+
+	seen := make(map[eval.Pair]struct{})
+	var out []eval.Pair
+	for i := range union.Blocks {
+		b := &union.Blocks[i]
+		for _, e1 := range b.E1 {
+			for _, e2 := range b.E2 {
+				p := eval.Pair{E1: e1, E2: e2}
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}
+
+func scorePairs(pairs []eval.Pair, ps *similarity.ProfileSet, m similarity.Measure) []cluster.ScoredPair {
+	scored := make([]cluster.ScoredPair, 0, len(pairs))
+	for _, p := range pairs {
+		s := similarity.Compare(m, ps.P1[p.E1], ps.P2[p.E2])
+		if s <= 0 {
+			continue
+		}
+		scored = append(scored, cluster.ScoredPair{E1: p.E1, E2: p.E2, Score: s})
+	}
+	return scored
+}
+
+// prefixAtThreshold exploits the prefix property of
+// UniqueMappingScored: the clustering at threshold th is the prefix of
+// the threshold-0 acceptance list with score >= th.
+func prefixAtThreshold(accepted []cluster.ScoredPair, th float64) []eval.Pair {
+	out := make([]eval.Pair, 0, len(accepted))
+	for _, p := range accepted {
+		if p.Score < th {
+			break
+		}
+		out = append(out, eval.Pair{E1: p.E1, E2: p.E2})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func buildEasyPair(t testing.TB, n int) (*kb.KB, *kb.KB, *eval.GroundTruth) {
+	t.Helper()
+	var t1, t2 []rdf.Triple
+	add := func(ts *[]rdf.Triple, s, p, v string) {
+		*ts = append(*ts, rdf.NewTriple(rdf.NewIRI(s), rdf.NewIRI(p), rdf.NewLiteral(v)))
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("item alpha%03d beta%03d", i, (i*7)%n)
+		add(&t1, fmt.Sprintf("http://a/e%03d", i), "http://v/name", name)
+		add(&t2, fmt.Sprintf("http://b/e%03d", i), "http://v/title", name)
+	}
+	kb1, err := kb.FromTriples("a", t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb2, err := kb.FromTriples("b", t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := eval.NewGroundTruth()
+	for i := 0; i < n; i++ {
+		e1, _ := kb1.Lookup(fmt.Sprintf("http://a/e%03d", i))
+		e2, _ := kb2.Lookup(fmt.Sprintf("http://b/e%03d", i))
+		if err := gt.Add(e1, e2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kb1, kb2, gt
+}
+
+func TestDefaultConfigGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	if len(cfg.NGrams) != 3 || len(cfg.Schemes) != 2 || len(cfg.Measures) != 4 {
+		t.Fatalf("grid dimensions wrong: %+v", cfg)
+	}
+	if len(cfg.Thresholds) != 20 {
+		t.Fatalf("thresholds = %d, want 20 ([0,1) step 0.05)", len(cfg.Thresholds))
+	}
+	if cfg.Thresholds[0] != 0 || cfg.Thresholds[19] >= 1 {
+		t.Errorf("threshold range wrong: %v", cfg.Thresholds)
+	}
+}
+
+func TestRunFindsPerfectConfig(t *testing.T) {
+	kb1, kb2, gt := buildEasyPair(t, 30)
+	res := Run(kb1, kb2, gt, DefaultConfig())
+	if res.Best.Metrics.F1 != 1 {
+		t.Fatalf("best F1 = %f, want 1.0 on trivially matched KBs (%s)", res.Best.Metrics.F1, res.Best)
+	}
+	if len(res.BestMatches) != 30 {
+		t.Errorf("best matches = %d, want 30", len(res.BestMatches))
+	}
+	if want := 3 * 2 * 4 * 20; len(res.Configs) != want {
+		t.Errorf("configs evaluated = %d, want %d", len(res.Configs), want)
+	}
+	if res.CandidatePairs == 0 {
+		t.Error("no candidate pairs")
+	}
+}
+
+func TestRunValueOnlyBlindness(t *testing.T) {
+	// Matches share no tokens at all: BSL must score 0 regardless of
+	// configuration — the structural weakness MinoanER fixes.
+	var t1, t2 []rdf.Triple
+	add := func(ts *[]rdf.Triple, s, p, v string) {
+		*ts = append(*ts, rdf.NewTriple(rdf.NewIRI(s), rdf.NewIRI(p), rdf.NewLiteral(v)))
+	}
+	add(&t1, "http://a/x", "http://v/name", "alpha beta")
+	add(&t2, "http://b/x", "http://v/name", "gamma delta")
+	kb1, _ := kb.FromTriples("a", t1)
+	kb2, _ := kb.FromTriples("b", t2)
+	gt := eval.NewGroundTruth()
+	e1, _ := kb1.Lookup("http://a/x")
+	e2, _ := kb2.Lookup("http://b/x")
+	if err := gt.Add(e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(kb1, kb2, gt, DefaultConfig())
+	if res.Best.Metrics.F1 != 0 {
+		t.Errorf("BSL matched token-disjoint entities: %s", res.Best)
+	}
+}
+
+func TestRunSweepOrderStable(t *testing.T) {
+	kb1, kb2, gt := buildEasyPair(t, 10)
+	r1 := Run(kb1, kb2, gt, DefaultConfig())
+	r2 := Run(kb1, kb2, gt, DefaultConfig())
+	if r1.Best.String() != r2.Best.String() {
+		t.Errorf("nondeterministic best: %s vs %s", r1.Best, r2.Best)
+	}
+	for i := range r1.Configs {
+		if r1.Configs[i].Metrics != r2.Configs[i].Metrics {
+			t.Fatalf("config %d metrics differ", i)
+		}
+	}
+}
+
+func TestCandidatePairsDistinct(t *testing.T) {
+	kb1, kb2, _ := buildEasyPair(t, 10)
+	pairs := candidatePairs(kb1, kb2, DefaultConfig())
+	seen := make(map[eval.Pair]bool)
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConfigResultString(t *testing.T) {
+	kb1, kb2, gt := buildEasyPair(t, 5)
+	res := Run(kb1, kb2, gt, DefaultConfig())
+	if s := res.Best.String(); s == "" {
+		t.Error("empty config string")
+	}
+}
+
+func BenchmarkBSLSweep(b *testing.B) {
+	kb1, kb2, gt := buildEasyPair(b, 100)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(kb1, kb2, gt, cfg)
+	}
+}

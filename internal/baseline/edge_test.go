@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/similarity"
+)
+
+func TestRunEmptyKBs(t *testing.T) {
+	kb1, err := kb.FromTriples("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb2, err := kb.FromTriples("b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(kb1, kb2, eval.NewGroundTruth(), DefaultConfig())
+	if res.CandidatePairs != 0 || len(res.BestMatches) != 0 {
+		t.Errorf("result on empty KBs: %+v", res)
+	}
+	if res.Best.Metrics.F1 != 0 {
+		t.Errorf("best F1 = %f", res.Best.Metrics.F1)
+	}
+}
+
+func TestRunRestrictedGrid(t *testing.T) {
+	kb1, kb2, gt := buildEasyPair(t, 15)
+	cfg := Config{
+		NGrams:     []int{1},
+		Schemes:    []similarity.Scheme{similarity.TF},
+		Measures:   []similarity.Measure{similarity.Jaccard},
+		Thresholds: []float64{0, 0.5},
+		NameK:      2,
+		Purge:      DefaultConfig().Purge,
+	}
+	res := Run(kb1, kb2, gt, cfg)
+	if len(res.Configs) != 2 {
+		t.Fatalf("configs = %d, want 2", len(res.Configs))
+	}
+	for _, c := range res.Configs {
+		if c.NGram != 1 || c.Measure != similarity.Jaccard {
+			t.Errorf("unexpected grid point %s", c)
+		}
+	}
+}
+
+func TestBestIsArgmaxOverConfigs(t *testing.T) {
+	kb1, kb2, gt := buildEasyPair(t, 20)
+	res := Run(kb1, kb2, gt, DefaultConfig())
+	for _, c := range res.Configs {
+		if c.Metrics.F1 > res.Best.Metrics.F1+1e-12 {
+			t.Fatalf("config %s beats reported best %s", c, res.Best)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package blocking
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/datagen"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func kbFromAttrs(t testing.TB, name string, rows []map[string]string) *kb.KB {
+	t.Helper()
+	var triples []rdf.Triple
+	for i, row := range rows {
+		subj := rdf.NewIRI(fmt.Sprintf("http://%s/e%03d", name, i))
+		for pred, val := range row {
+			triples = append(triples, rdf.NewTriple(subj, rdf.NewIRI("http://"+name+"/"+pred), rdf.NewLiteral(val)))
+		}
+	}
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestClusterAttributesLinksSimilarValueSpaces(t *testing.T) {
+	kb1 := kbFromAttrs(t, "a", []map[string]string{
+		{"name": "alice wonder", "city": "springfield"},
+		{"name": "bob builder", "city": "shelbyville"},
+	})
+	kb2 := kbFromAttrs(t, "b", []map[string]string{
+		{"label": "alice wonder", "town": "springfield"},
+		{"label": "bob builder", "town": "shelbyville"},
+	})
+	clusters := ClusterAttributes(kb1, kb2, 0.3, 0)
+	name1, _ := kb1.PredID("http://a/name")
+	label2, _ := kb2.PredID("http://b/label")
+	city1, _ := kb1.PredID("http://a/city")
+	town2, _ := kb2.PredID("http://b/town")
+	if clusters.ByKB1[name1] != clusters.ByKB2[label2] {
+		t.Errorf("name/label not co-clustered: %d vs %d", clusters.ByKB1[name1], clusters.ByKB2[label2])
+	}
+	if clusters.ByKB1[city1] != clusters.ByKB2[town2] {
+		t.Errorf("city/town not co-clustered")
+	}
+	if clusters.ByKB1[name1] == clusters.ByKB1[city1] {
+		t.Errorf("name and city merged into one cluster")
+	}
+	if clusters.ByKB1[name1] == 0 || clusters.ByKB1[city1] == 0 {
+		t.Errorf("linked attributes fell into the glue cluster")
+	}
+}
+
+func TestClusterAttributesGlueForUnlinked(t *testing.T) {
+	kb1 := kbFromAttrs(t, "a", []map[string]string{{"name": "alpha beta"}})
+	kb2 := kbFromAttrs(t, "b", []map[string]string{{"code": "zz99 qq88"}})
+	clusters := ClusterAttributes(kb1, kb2, 0.3, 0)
+	name1, _ := kb1.PredID("http://a/name")
+	code2, _ := kb2.PredID("http://b/code")
+	if clusters.ByKB1[name1] != 0 || clusters.ByKB2[code2] != 0 {
+		t.Errorf("dissimilar attributes should land in the glue cluster: %d/%d",
+			clusters.ByKB1[name1], clusters.ByKB2[code2])
+	}
+}
+
+func TestAttributeClusteredBlocksSeparateClusters(t *testing.T) {
+	// "springfield" appears both as a city and inside a name; with
+	// clustering, the name-attribute occurrence must not pair with the
+	// city-attribute occurrence.
+	kb1 := kbFromAttrs(t, "a", []map[string]string{
+		{"name": "springfield brewery", "city": "ogdenville"},
+		{"name": "moe tavern", "city": "springfield"},
+		{"name": "luigi place", "city": "ogdenville"},
+	})
+	kb2 := kbFromAttrs(t, "b", []map[string]string{
+		{"label": "springfield brewery", "town": "ogdenville"},
+		{"label": "moe tavern", "town": "springfield"},
+		{"label": "luigi place", "town": "ogdenville"},
+	})
+	clusters := ClusterAttributes(kb1, kb2, 0.2, 0)
+	c := AttributeClusteredBlocks(kb1, kb2, clusters)
+
+	// The qualified keys must separate name-springfield from
+	// town-springfield: no block may contain both e0 (name) and pair
+	// with e1's town occurrence.
+	plain := TokenBlocks(kb1, kb2)
+	plainCmp := plain.Comparisons()
+	clusteredCmp := c.Comparisons()
+	if clusteredCmp >= plainCmp {
+		t.Errorf("clustered comparisons (%d) not below plain token blocking (%d)", clusteredCmp, plainCmp)
+	}
+	// Recall on the obvious matches is preserved: every entity pair
+	// (i,i) still co-occurs.
+	idx := c.BuildIndex()
+	for i := 0; i < kb1.Len(); i++ {
+		cands := c.Candidates1(idx, kb.EntityID(i))
+		found := false
+		for _, e2 := range cands {
+			if int(e2) == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("entity %d lost its match under attribute clustering", i)
+		}
+	}
+}
+
+func TestAttributeClusteringOnBenchmark(t *testing.T) {
+	ds, err := datagen.Restaurant(datagen.Options{Seed: 11, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := ClusterAttributes(ds.KB1, ds.KB2, 0.15, 500)
+	if clusters.Count < 2 {
+		t.Fatalf("expected multiple clusters, got %d", clusters.Count)
+	}
+	c := AttributeClusteredBlocks(ds.KB1, ds.KB2, clusters)
+	st := ComputeStats(c, ds.GT)
+	if st.Recall < 0.99 {
+		t.Errorf("attribute-clustered recall = %.3f, want >= 0.99", st.Recall)
+	}
+	plain := ComputeStats(TokenBlocks(ds.KB1, ds.KB2), ds.GT)
+	if st.DistinctComparisons > plain.DistinctComparisons {
+		t.Errorf("clustering increased comparisons: %d vs %d", st.DistinctComparisons, plain.DistinctComparisons)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind()
+	a := node{1, 1}
+	b := node{2, 1}
+	c := node{2, 2}
+	uf.union(a, b)
+	uf.union(b, c)
+	ra, _ := uf.find(a)
+	rc, _ := uf.find(c)
+	if ra != rc {
+		t.Error("transitive union broken")
+	}
+	if _, ok := uf.find(node{1, 99}); ok {
+		t.Error("unregistered node found")
+	}
+}

@@ -1,0 +1,165 @@
+// Package blocking implements the schema-agnostic blocking layer of
+// MinoanER: Token Blocking (B_T), Name Blocking (B_N), Block Purging,
+// and the block statistics reported in Table II of the paper.
+//
+// A block groups the entities of the two input KBs that share one
+// blocking key. Only blocks with at least one entity from each KB are
+// kept: in the clean-clean setting of the paper, single-sided blocks
+// suggest no comparisons.
+package blocking
+
+import (
+	"sort"
+
+	"minoaner/internal/kb"
+)
+
+// Block is one blocking-key bucket with members from both KBs.
+type Block struct {
+	Key string
+	E1  []kb.EntityID // members from the first KB
+	E2  []kb.EntityID // members from the second KB
+}
+
+// Comparisons returns ||b||, the number of cross-KB pairs the block
+// suggests.
+func (b *Block) Comparisons() int64 {
+	return int64(len(b.E1)) * int64(len(b.E2))
+}
+
+// Assignments returns the number of entity-to-block assignments,
+// |b.E1|+|b.E2|; Block Purging trades comparisons against assignments.
+func (b *Block) Assignments() int64 {
+	return int64(len(b.E1)) + int64(len(b.E2))
+}
+
+// Collection is an ordered set of blocks between one pair of KBs.
+type Collection struct {
+	Blocks []Block
+	n1, n2 int // entity counts of the underlying KBs
+}
+
+// NewCollection returns an empty collection for KBs of the given sizes.
+func NewCollection(n1, n2 int) *Collection {
+	return &Collection{n1: n1, n2: n2}
+}
+
+// Size returns |B|, the number of blocks.
+func (c *Collection) Size() int { return len(c.Blocks) }
+
+// Comparisons returns ||B||, the total number of suggested comparisons
+// (with multiplicity: a pair co-occurring in multiple blocks counts each
+// time, as in the paper's Table II).
+func (c *Collection) Comparisons() int64 {
+	var total int64
+	for i := range c.Blocks {
+		total += c.Blocks[i].Comparisons()
+	}
+	return total
+}
+
+// KBSizes returns the entity counts (|E1|, |E2|) the collection was
+// built for.
+func (c *Collection) KBSizes() (int, int) { return c.n1, c.n2 }
+
+// sortBlocks orders blocks by key so collections are deterministic
+// regardless of map iteration order during construction.
+func (c *Collection) sortBlocks() {
+	sort.Slice(c.Blocks, func(i, j int) bool { return c.Blocks[i].Key < c.Blocks[j].Key })
+}
+
+// fromKeyMap materializes a deterministic Collection out of per-key
+// member lists, dropping single-sided blocks.
+func fromKeyMap(keys map[string]*keyBucket, n1, n2 int) *Collection {
+	c := NewCollection(n1, n2)
+	for key, b := range keys {
+		if len(b.e1) == 0 || len(b.e2) == 0 {
+			continue
+		}
+		c.Blocks = append(c.Blocks, Block{Key: key, E1: b.e1, E2: b.e2})
+	}
+	c.sortBlocks()
+	return c
+}
+
+type keyBucket struct {
+	e1, e2 []kb.EntityID
+}
+
+// Index maps every entity to the positions of the blocks that contain
+// it, enabling candidate enumeration during matching.
+type Index struct {
+	ByE1 [][]int32 // entity of KB1 -> indices into Collection.Blocks
+	ByE2 [][]int32
+}
+
+// BuildIndex constructs the entity-to-blocks index for the collection.
+func (c *Collection) BuildIndex() *Index {
+	idx := &Index{
+		ByE1: make([][]int32, c.n1),
+		ByE2: make([][]int32, c.n2),
+	}
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		for _, e := range b.E1 {
+			idx.ByE1[e] = append(idx.ByE1[e], int32(bi))
+		}
+		for _, e := range b.E2 {
+			idx.ByE2[e] = append(idx.ByE2[e], int32(bi))
+		}
+	}
+	return idx
+}
+
+// Candidates1 returns the distinct KB2 entities co-occurring with e1 in
+// any block, in ascending order.
+func (c *Collection) Candidates1(idx *Index, e1 kb.EntityID) []kb.EntityID {
+	return collectCandidates(idx.ByE1[e1], c.Blocks, false)
+}
+
+// Candidates2 returns the distinct KB1 entities co-occurring with e2 in
+// any block, in ascending order.
+func (c *Collection) Candidates2(idx *Index, e2 kb.EntityID) []kb.EntityID {
+	return collectCandidates(idx.ByE2[e2], c.Blocks, true)
+}
+
+func collectCandidates(blockIDs []int32, blocks []Block, side1 bool) []kb.EntityID {
+	if len(blockIDs) == 0 {
+		return nil
+	}
+	seen := make(map[kb.EntityID]struct{})
+	var out []kb.EntityID
+	for _, bi := range blockIDs {
+		members := blocks[bi].E2
+		if side1 {
+			members = blocks[bi].E1
+		}
+		for _, e := range members {
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union merges two collections over the same KB pair into one (keys are
+// namespaced by collection to avoid accidental merging of distinct
+// semantics, e.g. a name key equal to a token key).
+func Union(prefix1 string, a *Collection, prefix2 string, b *Collection) *Collection {
+	out := NewCollection(a.n1, a.n2)
+	out.Blocks = make([]Block, 0, len(a.Blocks)+len(b.Blocks))
+	for _, blk := range a.Blocks {
+		blk.Key = prefix1 + blk.Key
+		out.Blocks = append(out.Blocks, blk)
+	}
+	for _, blk := range b.Blocks {
+		blk.Key = prefix2 + blk.Key
+		out.Blocks = append(out.Blocks, blk)
+	}
+	out.sortBlocks()
+	return out
+}

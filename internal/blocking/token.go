@@ -1,0 +1,67 @@
+package blocking
+
+import "minoaner/internal/kb"
+
+// TokenBlocks applies Token Blocking to the two KBs: every distinct
+// token appearing in the values of entities of both KBs becomes a block
+// whose members are the entities containing it (paper §III, H2: "H2
+// applies Token Blocking to the input KBs, yielding a set of blocks
+// B_T").
+func TokenBlocks(kb1, kb2 *kb.KB) *Collection {
+	keys := make(map[string]*keyBucket)
+	for i := 0; i < kb1.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, tok := range kb1.Tokens(id) {
+			// Tokens absent from KB2 can never form a two-sided block.
+			if kb2.EF(tok) == 0 {
+				continue
+			}
+			bucketFor(keys, tok).e1 = append(bucketFor(keys, tok).e1, id)
+		}
+	}
+	for i := 0; i < kb2.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, tok := range kb2.Tokens(id) {
+			if _, ok := keys[tok]; !ok {
+				continue
+			}
+			keys[tok].e2 = append(keys[tok].e2, id)
+		}
+	}
+	return fromKeyMap(keys, kb1.Len(), kb2.Len())
+}
+
+// NameBlocks applies Name Blocking: the normalized literal values of the
+// k most important attributes of each KB ("entity names") serve as
+// blocking keys (paper §III, H1: "H1 treats the entire entity names as
+// blocking keys to create a set of blocks B_N").
+func NameBlocks(kb1, kb2 *kb.KB, k int) *Collection {
+	attrs1 := kb1.TopNameAttributes(k)
+	attrs2 := kb2.TopNameAttributes(k)
+	keys := make(map[string]*keyBucket)
+	for i := 0; i < kb1.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, name := range kb1.Names(id, attrs1) {
+			bucketFor(keys, name).e1 = append(bucketFor(keys, name).e1, id)
+		}
+	}
+	for i := 0; i < kb2.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, name := range kb2.Names(id, attrs2) {
+			if _, ok := keys[name]; !ok {
+				continue
+			}
+			keys[name].e2 = append(keys[name].e2, id)
+		}
+	}
+	return fromKeyMap(keys, kb1.Len(), kb2.Len())
+}
+
+func bucketFor(keys map[string]*keyBucket, key string) *keyBucket {
+	b := keys[key]
+	if b == nil {
+		b = &keyBucket{}
+		keys[key] = b
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Package cluster implements Unique Mapping Clustering, the greedy 1-1
+// match-selection procedure used by the BSL baseline and the SiGMa-style
+// matchers (paper §II): all scored pairs enter a priority queue in
+// decreasing similarity; the top pair is accepted as a match if neither
+// of its entities has been matched already and its score reaches the
+// threshold; the process stops when the top score drops below the
+// threshold.
+package cluster
+
+import (
+	"sort"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// ScoredPair is one candidate match with its similarity score.
+type ScoredPair struct {
+	E1    kb.EntityID
+	E2    kb.EntityID
+	Score float64
+}
+
+// UniqueMapping selects a partial 1-1 mapping greedily by descending
+// score. Pairs scoring below threshold are never accepted. Ties are
+// broken deterministically by (E1, E2). The input slice is not
+// modified.
+func UniqueMapping(pairs []ScoredPair, threshold float64) []eval.Pair {
+	accepted := UniqueMappingScored(pairs, threshold)
+	out := make([]eval.Pair, len(accepted))
+	for i, p := range accepted {
+		out[i] = eval.Pair{E1: p.E1, E2: p.E2}
+	}
+	return out
+}
+
+// UniqueMappingScored is UniqueMapping keeping the scores of the
+// accepted pairs, in acceptance (descending score) order. Because the
+// greedy acceptance of a pair depends only on higher-scoring accepted
+// pairs, the result for any higher threshold t is exactly the prefix of
+// this result with score >= t — which lets a threshold sweep run the
+// clustering once.
+func UniqueMappingScored(pairs []ScoredPair, threshold float64) []ScoredPair {
+	sorted := make([]ScoredPair, len(pairs))
+	copy(sorted, pairs)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.E1 != b.E1 {
+			return a.E1 < b.E1
+		}
+		return a.E2 < b.E2
+	})
+	matched1 := make(map[kb.EntityID]struct{})
+	matched2 := make(map[kb.EntityID]struct{})
+	var out []ScoredPair
+	for _, p := range sorted {
+		if p.Score < threshold {
+			break
+		}
+		if _, ok := matched1[p.E1]; ok {
+			continue
+		}
+		if _, ok := matched2[p.E2]; ok {
+			continue
+		}
+		matched1[p.E1] = struct{}{}
+		matched2[p.E2] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+func TestUniqueMappingBasic(t *testing.T) {
+	pairs := []ScoredPair{
+		{E1: 0, E2: 0, Score: 0.9},
+		{E1: 0, E2: 1, Score: 0.8}, // loses: e1=0 taken
+		{E1: 1, E2: 1, Score: 0.7},
+		{E1: 2, E2: 1, Score: 0.6}, // loses: e2=1 taken
+		{E1: 2, E2: 2, Score: 0.3}, // below threshold
+	}
+	got := UniqueMapping(pairs, 0.5)
+	want := []eval.Pair{{E1: 0, E2: 0}, {E1: 1, E2: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUniqueMappingGreedyOrder(t *testing.T) {
+	// The greedy choice takes the globally best pair first, even if that
+	// starves a later entity.
+	pairs := []ScoredPair{
+		{E1: 0, E2: 5, Score: 1.0},
+		{E1: 1, E2: 5, Score: 0.9}, // starved
+	}
+	got := UniqueMapping(pairs, 0)
+	if len(got) != 1 || got[0].E1 != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUniqueMappingThresholdStops(t *testing.T) {
+	pairs := []ScoredPair{
+		{E1: 0, E2: 0, Score: 0.4},
+		{E1: 1, E2: 1, Score: 0.6},
+	}
+	got := UniqueMapping(pairs, 0.5)
+	if len(got) != 1 || got[0].E1 != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUniqueMappingEmpty(t *testing.T) {
+	if got := UniqueMapping(nil, 0.5); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestUniqueMappingDeterministicTies(t *testing.T) {
+	pairs := []ScoredPair{
+		{E1: 1, E2: 1, Score: 0.5},
+		{E1: 0, E2: 0, Score: 0.5},
+		{E1: 0, E2: 1, Score: 0.5},
+	}
+	first := UniqueMapping(pairs, 0)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]ScoredPair, len(pairs))
+		copy(shuffled, pairs)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := UniqueMapping(shuffled, 0)
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: nondeterministic length", trial)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: nondeterministic result %v vs %v", trial, got, first)
+			}
+		}
+	}
+	// Tie broken by lowest E1 first: (0,0) wins, then (1,1).
+	if first[0] != (eval.Pair{E1: 0, E2: 0}) {
+		t.Errorf("tie-break wrong: %v", first)
+	}
+}
+
+func TestUniqueMappingInputNotModified(t *testing.T) {
+	pairs := []ScoredPair{
+		{E1: 1, E2: 1, Score: 0.1},
+		{E1: 0, E2: 0, Score: 0.9},
+	}
+	UniqueMapping(pairs, 0)
+	if pairs[0].E1 != 1 {
+		t.Error("input slice reordered")
+	}
+}
+
+// Property: the output is always a partial 1-1 mapping and all accepted
+// scores are >= threshold.
+func TestUniqueMappingIsOneToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		pairs := make([]ScoredPair, n)
+		for i := range pairs {
+			pairs[i] = ScoredPair{
+				E1:    kb.EntityID(rng.Intn(30)),
+				E2:    kb.EntityID(rng.Intn(30)),
+				Score: rng.Float64(),
+			}
+		}
+		th := rng.Float64() * 0.5
+		got := UniqueMapping(pairs, th)
+		seen1 := map[kb.EntityID]bool{}
+		seen2 := map[kb.EntityID]bool{}
+		for _, p := range got {
+			if seen1[p.E1] || seen2[p.E2] {
+				t.Fatalf("trial %d: duplicate entity in %v", trial, got)
+			}
+			seen1[p.E1] = true
+			seen2[p.E2] = true
+		}
+	}
+}
+
+func BenchmarkUniqueMapping(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([]ScoredPair, 10000)
+	for i := range pairs {
+		pairs[i] = ScoredPair{
+			E1:    kb.EntityID(rng.Intn(2000)),
+			E2:    kb.EntityID(rng.Intn(2000)),
+			Score: rng.Float64(),
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		UniqueMapping(pairs, 0.3)
+	}
+}

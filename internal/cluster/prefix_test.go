@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"minoaner/internal/kb"
+)
+
+// TestScoredPrefixProperty verifies the property the BSL threshold
+// sweep depends on: UniqueMappingScored at threshold t equals the
+// prefix (score >= t) of the threshold-0 result.
+func TestScoredPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		pairs := make([]ScoredPair, n)
+		for i := range pairs {
+			pairs[i] = ScoredPair{
+				E1:    kb.EntityID(rng.Intn(40)),
+				E2:    kb.EntityID(rng.Intn(40)),
+				Score: float64(rng.Intn(20)) / 20, // coarse scores force ties
+			}
+		}
+		base := UniqueMappingScored(pairs, 0)
+		for _, th := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			direct := UniqueMappingScored(pairs, th)
+			var prefix []ScoredPair
+			for _, p := range base {
+				if p.Score < th {
+					break
+				}
+				prefix = append(prefix, p)
+			}
+			if len(direct) != len(prefix) {
+				t.Fatalf("trial %d t=%.2f: direct %d pairs, prefix %d", trial, th, len(direct), len(prefix))
+			}
+			for i := range direct {
+				if direct[i] != prefix[i] {
+					t.Fatalf("trial %d t=%.2f: mismatch at %d", trial, th, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScoredDescendingOrder: acceptance order is by descending score.
+func TestScoredDescendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]ScoredPair, 200)
+	for i := range pairs {
+		pairs[i] = ScoredPair{
+			E1:    kb.EntityID(rng.Intn(50)),
+			E2:    kb.EntityID(rng.Intn(50)),
+			Score: rng.Float64(),
+		}
+	}
+	out := UniqueMappingScored(pairs, 0)
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Fatalf("acceptance order not descending at %d", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+)
+
+// Cand is one candidate match of an entity, with its similarity under
+// one evidence type.
+type Cand struct {
+	ID  kb.EntityID
+	Sim float64
+}
+
+// candidateEvidence holds, for every entity of one KB, the top-K
+// candidates of the other KB under value similarity and under neighbor
+// similarity, each sorted by descending similarity (ties by ascending
+// ID).
+type candidateEvidence struct {
+	value    [][]Cand
+	neighbor [][]Cand
+}
+
+// tokenWeights assigns each token block of the (purged) collection its
+// ARCS weight 1/log2(EF1·EF2+1). Because Token Blocking keys blocks by
+// token, EF_E(t) is exactly the number of the block's members from E.
+func tokenWeights(bt *blocking.Collection) []float64 {
+	w := make([]float64, len(bt.Blocks))
+	for i := range bt.Blocks {
+		b := &bt.Blocks[i]
+		w[i] = 1 / math.Log2(float64(len(b.E1))*float64(len(b.E2))+1)
+	}
+	return w
+}
+
+// valueCandidates computes, for every entity of both KBs, its top-K
+// co-occurring entities by valueSim. The similarity is accumulated
+// block-by-block: each shared token block contributes its weight to
+// every cross pair it suggests, which realizes
+// valueSim = Σ_{shared tokens} w(t) over the blocks' tokens.
+func valueCandidates(bt *blocking.Collection, idx *blocking.Index, weights []float64, k, workers int) ([][]Cand, [][]Cand) {
+	n1, n2 := bt.KBSizes()
+	side1 := make([][]Cand, n1)
+	side2 := make([][]Cand, n2)
+
+	run := func(n, other int, byEnt [][]int32, members func(bi int32) []kb.EntityID, out [][]Cand) {
+		parallelFor(n, workers, func(worker, start, end int) {
+			acc := newAccumulator(other)
+			for e := start; e < end; e++ {
+				for _, bi := range byEnt[e] {
+					w := weights[bi]
+					for _, o := range members(bi) {
+						acc.add(int32(o), w)
+					}
+				}
+				out[e] = acc.topK(k)
+				acc.reset()
+			}
+		})
+	}
+	run(n1, n2, idx.ByE1, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E2 }, side1)
+	run(n2, n1, idx.ByE2, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E1 }, side2)
+	return side1, side2
+}
+
+// neighborCandidates computes, for every entity, its top-K candidates
+// by neighbor similarity:
+//
+//	neighborNSim(e_i, e_j) = Σ valueSim(n_i, n_j)
+//
+// over pairs (n_i, n_j) of best neighbors (via the N most important
+// relations of each entity). The sum is realized through the top-K
+// value-candidate lists of the neighbors — exactly the evidence the
+// blocks provide — so only pairs co-occurring in token blocks
+// contribute, as in the paper's blocks-centric computation.
+func neighborCandidates(kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) ([][]Cand, [][]Cand) {
+	top1 := topNeighborLists(kb1, n)
+	top2 := topNeighborLists(kb2, n)
+	rev1 := reverseNeighborIndex(top1, kb1.Len())
+	rev2 := reverseNeighborIndex(top2, kb2.Len())
+
+	out1 := make([][]Cand, kb1.Len())
+	out2 := make([][]Cand, kb2.Len())
+
+	// Side 1: neighbors n_i of e_1 propose, through their value
+	// candidates n_j, every e_2 that has n_j among its best neighbors.
+	parallelFor(kb1.Len(), workers, func(worker, start, end int) {
+		acc := newAccumulator(kb2.Len())
+		for e := start; e < end; e++ {
+			for _, nei := range top1[e] {
+				for _, cand := range vc1[nei] {
+					if cand.Sim <= 0 {
+						continue
+					}
+					for _, e2 := range rev2[cand.ID] {
+						acc.add(int32(e2), cand.Sim)
+					}
+				}
+			}
+			out1[e] = acc.topK(k)
+			acc.reset()
+		}
+	})
+	parallelFor(kb2.Len(), workers, func(worker, start, end int) {
+		acc := newAccumulator(kb1.Len())
+		for e := start; e < end; e++ {
+			for _, nej := range top2[e] {
+				for _, cand := range vc2[nej] {
+					if cand.Sim <= 0 {
+						continue
+					}
+					for _, e1 := range rev1[cand.ID] {
+						acc.add(int32(e1), cand.Sim)
+					}
+				}
+			}
+			out2[e] = acc.topK(k)
+			acc.reset()
+		}
+	})
+	return out1, out2
+}
+
+func topNeighborLists(k *kb.KB, n int) [][]kb.EntityID {
+	out := make([][]kb.EntityID, k.Len())
+	for i := 0; i < k.Len(); i++ {
+		out[i] = k.TopNeighbors(kb.EntityID(i), n)
+	}
+	return out
+}
+
+// reverseNeighborIndex inverts top-neighbor lists: for each entity x,
+// the entities that count x among their best neighbors.
+func reverseNeighborIndex(top [][]kb.EntityID, n int) [][]kb.EntityID {
+	rev := make([][]kb.EntityID, n)
+	for e, nbrs := range top {
+		for _, x := range nbrs {
+			rev[x] = append(rev[x], kb.EntityID(e))
+		}
+	}
+	return rev
+}
+
+// accumulator aggregates per-candidate similarity with O(1) reset via
+// a touched list.
+type accumulator struct {
+	sums    []float64
+	touched []int32
+}
+
+func newAccumulator(n int) *accumulator {
+	return &accumulator{sums: make([]float64, n)}
+}
+
+func (a *accumulator) add(id int32, w float64) {
+	if a.sums[id] == 0 {
+		a.touched = append(a.touched, id)
+	}
+	a.sums[id] += w
+}
+
+func (a *accumulator) reset() {
+	for _, id := range a.touched {
+		a.sums[id] = 0
+	}
+	a.touched = a.touched[:0]
+}
+
+// topK selects the k best candidates by similarity (ties by ascending
+// ID) from the touched set.
+func (a *accumulator) topK(k int) []Cand {
+	if len(a.touched) == 0 {
+		return nil
+	}
+	cands := make([]Cand, 0, len(a.touched))
+	for _, id := range a.touched {
+		cands = append(cands, Cand{ID: kb.EntityID(id), Sim: a.sums[id]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Sim != cands[j].Sim {
+			return cands[i].Sim > cands[j].Sim
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if k < len(cands) {
+		cands = cands[:k:k]
+	}
+	return cands
+}
+
+// parallelFor splits [0,n) into contiguous chunks across min(workers,n)
+// goroutines. The work function receives its worker index and chunk
+// bounds; chunks do not overlap, so no synchronization is needed on
+// per-index outputs.
+func parallelFor(n, workers int, work func(worker, start, end int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		work(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(worker, s, e int) {
+			defer wg.Done()
+			work(worker, s, e)
+		}(w, start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+// Package core implements the MinoanER matching process: four
+// threshold-free heuristics — H1 (names), H2 (values), H3 (rank
+// aggregation of value and neighbor evidence), H4 (reciprocity) —
+// applied non-iteratively over schema-agnostic blocks (paper §III):
+//
+//	M(e_i, e_j) = (H1 ∨ H2 ∨ H3)(e_i, e_j) ∧ H4(e_i, e_j)
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"minoaner/internal/blocking"
+)
+
+// Config carries the four MinoanER parameters plus engineering knobs.
+// The defaults are the configuration the paper found robust across all
+// datasets (§IV): K=15, N=3, k=2, θ=0.6.
+type Config struct {
+	// K is the number of candidate matches kept per entity and per
+	// evidence type (value, neighbor). Used by H3's ranked lists and by
+	// H4's reciprocity check.
+	K int
+	// N is the number of most important relations per entity whose
+	// neighbors contribute to neighbor similarity.
+	N int
+	// NameK is the paper's k: the number of most distinctive attributes
+	// per KB whose literal values serve as entity names for H1.
+	NameK int
+	// Theta is the trade-off between value-based (θ) and neighbor-based
+	// (1-θ) normalized ranks in H3.
+	Theta float64
+	// Purge configures Block Purging of the token blocks; see
+	// blocking.Purge.
+	Purge blocking.PurgeConfig
+	// Workers bounds the goroutines used for candidate scoring.
+	// 0 selects GOMAXPROCS. Results are identical at any setting.
+	Workers int
+
+	// Ablation switches (all false in the paper's configuration).
+	DisableH1 bool
+	DisableH2 bool
+	DisableH3 bool
+	DisableH4 bool
+}
+
+// DefaultConfig returns the paper's parameter configuration.
+func DefaultConfig() Config {
+	return Config{
+		K:     15,
+		N:     3,
+		NameK: 2,
+		Theta: 0.6,
+		Purge: blocking.DefaultPurgeConfig(),
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", c.K)
+	}
+	if c.N < 0 {
+		return fmt.Errorf("core: N must be >= 0, got %d", c.N)
+	}
+	if c.NameK < 0 {
+		return fmt.Errorf("core: NameK must be >= 0, got %d", c.NameK)
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		return fmt.Errorf("core: Theta must be in (0,1), got %g", c.Theta)
+	}
+	if c.Purge.EntityFraction <= 0 || c.Purge.EntityFraction > 1 {
+		return fmt.Errorf("core: Purge.EntityFraction must be in (0,1], got %g", c.Purge.EntityFraction)
+	}
+	if c.Purge.MinEntities < 0 {
+		return fmt.Errorf("core: Purge.MinEntities must be >= 0, got %d", c.Purge.MinEntities)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
+	return nil
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

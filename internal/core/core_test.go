@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+type tripleList []rdf.Triple
+
+func (t *tripleList) add(s, p string, o rdf.Term) {
+	*t = append(*t, rdf.NewTriple(iri(s), iri(p), o))
+}
+
+func mustKB(t testing.TB, name string, triples tripleList) *kb.KB {
+	t.Helper()
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func mustID(t testing.TB, k *kb.KB, uri string) kb.EntityID {
+	t.Helper()
+	id, ok := k.Lookup(uri)
+	if !ok {
+		t.Fatalf("entity %s missing from %s", uri, k.Name())
+	}
+	return id
+}
+
+func runMatcher(t testing.TB, kb1, kb2 *kb.KB, cfg Config) *Result {
+	t.Helper()
+	m, err := NewMatcher(kb1, kb2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	purge := blocking.DefaultPurgeConfig()
+	bad := []Config{
+		{K: 0, N: 3, NameK: 2, Theta: 0.6, Purge: purge},
+		{K: 15, N: -1, NameK: 2, Theta: 0.6, Purge: purge},
+		{K: 15, N: 3, NameK: -1, Theta: 0.6, Purge: purge},
+		{K: 15, N: 3, NameK: 2, Theta: 0, Purge: purge},
+		{K: 15, N: 3, NameK: 2, Theta: 1, Purge: purge},
+		{K: 15, N: 3, NameK: 2, Theta: 0.6, Purge: blocking.PurgeConfig{EntityFraction: 0}},
+		{K: 15, N: 3, NameK: 2, Theta: 0.6, Purge: blocking.PurgeConfig{EntityFraction: 2}},
+		{K: 15, N: 3, NameK: 2, Theta: 0.6, Purge: blocking.PurgeConfig{EntityFraction: 0.5, MinEntities: -1}},
+		{K: 15, N: 3, NameK: 2, Theta: 0.6, Purge: purge, Workers: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := NewMatcher(nil, nil, Config{}); err == nil {
+		t.Error("NewMatcher accepted zero config")
+	}
+}
+
+// nameKBs: two KBs where h-entities share a unique name.
+func nameKBs(t testing.TB) (*kb.KB, *kb.KB) {
+	var t1, t2 tripleList
+	t1.add("http://a/x", "http://v/name", lit("Unique Alpha Name"))
+	t1.add("http://a/x", "http://v/desc", lit("completely different words here"))
+	t1.add("http://a/y", "http://v/name", lit("Another Beta Name"))
+	t1.add("http://a/y", "http://v/desc", lit("some other description text"))
+	t2.add("http://b/x", "http://v/title", lit("unique alpha name!"))
+	t2.add("http://b/x", "http://v/about", lit("nothing in common at all"))
+	t2.add("http://b/y", "http://v/title", lit("another beta name"))
+	t2.add("http://b/y", "http://v/about", lit("irrelevant filler value"))
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+func TestH1MatchesByName(t *testing.T) {
+	kb1, kb2 := nameKBs(t)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.H1) != 2 {
+		t.Fatalf("H1 found %d pairs, want 2: %v", len(res.H1), res.H1)
+	}
+	want := map[eval.Pair]bool{
+		{E1: mustID(t, kb1, "http://a/x"), E2: mustID(t, kb2, "http://b/x")}: true,
+		{E1: mustID(t, kb1, "http://a/y"), E2: mustID(t, kb2, "http://b/y")}: true,
+	}
+	for _, p := range res.H1 {
+		if !want[p] {
+			t.Errorf("unexpected H1 pair %v", p)
+		}
+	}
+	// H1 matches survive H4: name tokens co-occur in token blocks.
+	if len(res.Matches) != 2 {
+		t.Errorf("final matches = %v", res.Matches)
+	}
+}
+
+func TestH1RequiresUniqueness(t *testing.T) {
+	// Two KB1 entities share the same name: the block has 2 E1 members,
+	// so H1 must not fire.
+	var t1, t2 tripleList
+	t1.add("http://a/x1", "http://v/name", lit("Ambiguous Name"))
+	t1.add("http://a/x2", "http://v/name", lit("Ambiguous Name"))
+	t2.add("http://b/x", "http://v/name", lit("ambiguous name"))
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.H1) != 0 {
+		t.Errorf("H1 fired on ambiguous name: %v", res.H1)
+	}
+}
+
+func TestH1Disabled(t *testing.T) {
+	kb1, kb2 := nameKBs(t)
+	cfg := DefaultConfig()
+	cfg.DisableH1 = true
+	res := runMatcher(t, kb1, kb2, cfg)
+	if len(res.H1) != 0 {
+		t.Errorf("H1 ran while disabled: %v", res.H1)
+	}
+	// The pairs are still strongly value-similar (unique name tokens
+	// give sim 3 >= 1), so H2 recovers them.
+	if len(res.H2) != 2 {
+		t.Errorf("H2 = %v, want the 2 pairs", res.H2)
+	}
+}
+
+// valueKBs: entities share unique tokens but no normalized name key is
+// identical across the KBs (the token order differs), so H1 cannot fire
+// and only value evidence (H2/H3) can match them.
+func valueKBs(t testing.TB) (*kb.KB, *kb.KB) {
+	var t1, t2 tripleList
+	t1.add("http://a/p", "http://v/name", lit("First Thing"))
+	t1.add("http://a/p", "http://v/code", lit("zqx73 kwv91"))
+	t1.add("http://a/q", "http://v/name", lit("Second Thing"))
+	t1.add("http://a/q", "http://v/code", lit("mml42 ppo55"))
+	t2.add("http://b/p", "http://v/label", lit("Erste Sache"))
+	t2.add("http://b/p", "http://v/id", lit("kwv91 zqx73"))
+	t2.add("http://b/q", "http://v/label", lit("Zweite Sache"))
+	t2.add("http://b/q", "http://v/id", lit("ppo55 mml42"))
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+func TestH2MatchesByValues(t *testing.T) {
+	kb1, kb2 := valueKBs(t)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.H1) != 0 {
+		t.Fatalf("unexpected H1 pairs: %v", res.H1)
+	}
+	if len(res.H2) != 2 {
+		t.Fatalf("H2 = %v, want 2 pairs", res.H2)
+	}
+	wantP := eval.Pair{E1: mustID(t, kb1, "http://a/p"), E2: mustID(t, kb2, "http://b/p")}
+	found := false
+	for _, p := range res.H2 {
+		if p == wantP {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("H2 missed %v: %v", wantP, res.H2)
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("final matches = %v", res.Matches)
+	}
+}
+
+func TestH2ThresholdNotReached(t *testing.T) {
+	// The only shared token appears in 2 entities per KB → weight
+	// 1/log2(5) < 1, so H2 must not fire.
+	var t1, t2 tripleList
+	t1.add("http://a/p", "http://v/x", lit("shared alpha"))
+	t1.add("http://a/q", "http://v/x", lit("shared beta"))
+	t2.add("http://b/p", "http://v/x", lit("shared gamma"))
+	t2.add("http://b/q", "http://v/x", lit("shared delta"))
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	cfg := DefaultConfig()
+	cfg.DisableH3 = true
+	res := runMatcher(t, kb1, kb2, cfg)
+	if len(res.H2) != 0 {
+		t.Errorf("H2 fired below threshold: %v", res.H2)
+	}
+}
+
+func TestH2Disabled(t *testing.T) {
+	kb1, kb2 := valueKBs(t)
+	cfg := DefaultConfig()
+	cfg.DisableH2 = true
+	res := runMatcher(t, kb1, kb2, cfg)
+	if len(res.H2) != 0 {
+		t.Errorf("H2 ran while disabled")
+	}
+	// H3 takes over: the pairs are still each other's best candidates.
+	if len(res.H3) != 2 {
+		t.Errorf("H3 = %v, want 2", res.H3)
+	}
+}
+
+// neighborKBs: the target pair (p1, q1) has weak value overlap but its
+// neighbors match strongly by value.
+func neighborKBs(t testing.TB) (*kb.KB, *kb.KB) {
+	var t1, t2 tripleList
+	// Publications with weak value overlap: every title token appears
+	// in two entities per KB.
+	t1.add("http://a/p1", "http://v/title", lit("study results alpha"))
+	t1.add("http://a/p2", "http://v/title", lit("study results beta"))
+	t1.add("http://a/p1", "http://v/author", iri("http://a/w1"))
+	t1.add("http://a/p2", "http://v/author", iri("http://a/w2"))
+	// Authors with strongly identifying tokens.
+	t1.add("http://a/w1", "http://v/person", lit("qqfirst qqlast"))
+	t1.add("http://a/w2", "http://v/person", lit("zzfirst zzlast"))
+
+	t2.add("http://b/q1", "http://v/heading", lit("study results gamma"))
+	t2.add("http://b/q2", "http://v/heading", lit("study results delta"))
+	t2.add("http://b/q1", "http://v/creator", iri("http://b/v1"))
+	t2.add("http://b/q2", "http://v/creator", iri("http://b/v2"))
+	t2.add("http://b/v1", "http://v/who", lit("qqfirst qqlast"))
+	t2.add("http://b/v2", "http://v/who", lit("zzfirst zzlast"))
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+func TestH3MatchesViaNeighbors(t *testing.T) {
+	kb1, kb2 := neighborKBs(t)
+	cfg := DefaultConfig()
+	res := runMatcher(t, kb1, kb2, cfg)
+	// Authors match by H2 (unique tokens); publications must be matched
+	// (by H2-or-H3 depending on weights) to the right counterpart.
+	p1 := eval.Pair{E1: mustID(t, kb1, "http://a/p1"), E2: mustID(t, kb2, "http://b/q1")}
+	p2 := eval.Pair{E1: mustID(t, kb1, "http://a/p2"), E2: mustID(t, kb2, "http://b/q2")}
+	got := map[eval.Pair]bool{}
+	for _, p := range res.Matches {
+		got[p] = true
+	}
+	if !got[p1] || !got[p2] {
+		t.Errorf("publication pairs missing: matches=%v H2=%v H3=%v", res.Matches, res.H2, res.H3)
+	}
+}
+
+func TestH3NeighborEvidenceBreaksTie(t *testing.T) {
+	// p1's value candidates q1 and q2 tie exactly (same shared tokens);
+	// only the neighbor evidence separates them. With H3 disabled the
+	// pair is not emitted; with H3 enabled it picks q1 via neighbors.
+	kb1, kb2 := neighborKBs(t)
+	cfg := DefaultConfig()
+	cfg.DisableH2 = true // force publications through H3
+	res := runMatcher(t, kb1, kb2, cfg)
+	p1 := eval.Pair{E1: mustID(t, kb1, "http://a/p1"), E2: mustID(t, kb2, "http://b/q1")}
+	found := false
+	for _, p := range res.H3 {
+		if p == p1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("H3 did not use neighbor evidence: H3=%v", res.H3)
+	}
+}
+
+func TestH4DiscardsNonReciprocal(t *testing.T) {
+	// e1's best candidate is hub, but hub's top-K is saturated by a
+	// closer candidate, so reciprocity fails with K=1:
+	// valueSim(e1,hub) = 2·1 = 2 < valueSim(other,hub) = 4/log2(3) ≈ 2.52.
+	var t1, t2 tripleList
+	t1.add("http://a/e1", "http://v/x", lit("common1 common2"))
+	t1.add("http://a/other", "http://v/x", lit("zz1 zz2 zz3 zz4"))
+	t2.add("http://b/hub", "http://v/x", lit("common1 common2 zz1 zz2 zz3 zz4"))
+	t2.add("http://b/full", "http://v/x", lit("zz1 zz2 zz3 zz4"))
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+
+	cfg := DefaultConfig()
+	cfg.K = 1
+	cfg.Purge = blocking.NoPurge() // tiny fixture: keep every block
+	res := runMatcher(t, kb1, kb2, cfg)
+	// With K=1, hub's single slot goes to "other", so (e1, hub) must be
+	// discarded by H4.
+	for _, p := range res.Matches {
+		if p.E1 == mustID(t, kb1, "http://a/e1") {
+			t.Errorf("non-reciprocal pair survived H4: %v", p)
+		}
+	}
+	if res.DiscardedByH4 == 0 {
+		t.Error("H4 discarded nothing")
+	}
+
+	cfg.DisableH4 = true
+	res = runMatcher(t, kb1, kb2, cfg)
+	found := false
+	for _, p := range res.Matches {
+		if p.E1 == mustID(t, kb1, "http://a/e1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("with H4 disabled the pair should survive")
+	}
+}
+
+func TestMatchesSubsetOfHeuristics(t *testing.T) {
+	kb1, kb2 := neighborKBs(t)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	union := map[eval.Pair]bool{}
+	for _, p := range res.H1 {
+		union[p] = true
+	}
+	for _, p := range res.H2 {
+		union[p] = true
+	}
+	for _, p := range res.H3 {
+		union[p] = true
+	}
+	for _, p := range res.Matches {
+		if !union[p] {
+			t.Errorf("match %v not produced by any heuristic", p)
+		}
+	}
+	if len(res.Matches)+res.DiscardedByH4 != len(union) {
+		t.Errorf("H4 accounting: %d + %d != %d", len(res.Matches), res.DiscardedByH4, len(union))
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	kb1, kb2 := neighborKBs(t)
+	var base *Result
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		res := runMatcher(t, kb1, kb2, cfg)
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Matches, base.Matches) {
+			t.Errorf("workers=%d changed results: %v vs %v", workers, res.Matches, base.Matches)
+		}
+	}
+}
+
+func TestEmptyKBs(t *testing.T) {
+	kb1 := mustKB(t, "a", nil)
+	kb2 := mustKB(t, "b", nil)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.Matches) != 0 {
+		t.Errorf("matches on empty KBs: %v", res.Matches)
+	}
+}
+
+func TestOneSidedKB(t *testing.T) {
+	var t1 tripleList
+	t1.add("http://a/x", "http://v/name", lit("Lonely Entity"))
+	kb1 := mustKB(t, "a", t1)
+	kb2 := mustKB(t, "b", nil)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.Matches) != 0 {
+		t.Errorf("matches with empty KB2: %v", res.Matches)
+	}
+}
+
+func TestNoRelationsStillMatches(t *testing.T) {
+	// Without any relations H3's neighbor list is empty; value evidence
+	// alone must still work.
+	kb1, kb2 := valueKBs(t)
+	cfg := DefaultConfig()
+	cfg.N = 0
+	res := runMatcher(t, kb1, kb2, cfg)
+	if len(res.Matches) != 2 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+}
+
+func TestAggregateRanks(t *testing.T) {
+	value := []Cand{{ID: 10, Sim: 0.9}, {ID: 20, Sim: 0.5}}
+	neighbor := []Cand{{ID: 20, Sim: 3.0}, {ID: 30, Sim: 1.0}}
+	noskip := func(kb.EntityID) bool { return false }
+	// θ=0.6: 10 → 0.6*1.0 = 0.6; 20 → 0.6*0.5 + 0.4*1.0 = 0.7; 30 → 0.4*0.5=0.2.
+	best, ok := aggregateRanks(value, neighbor, 0.6, noskip)
+	if !ok || best != 20 {
+		t.Errorf("best = %d, want 20", best)
+	}
+	// θ high → value list dominates.
+	best, _ = aggregateRanks(value, neighbor, 0.9, noskip)
+	if best != 10 {
+		t.Errorf("best = %d, want 10 at θ=0.9", best)
+	}
+	// Empty evidence.
+	if _, ok := aggregateRanks(nil, nil, 0.6, noskip); ok {
+		t.Error("aggregateRanks on empty lists returned ok")
+	}
+	// Skip filter removes the winner.
+	best, ok = aggregateRanks(value, neighbor, 0.6, func(id kb.EntityID) bool { return id == 20 })
+	if !ok || best != 10 {
+		t.Errorf("best = %d, want 10 after skipping 20", best)
+	}
+}
+
+func TestAggregateRanksZeroSims(t *testing.T) {
+	value := []Cand{{ID: 1, Sim: 0}}
+	if _, ok := aggregateRanks(value, nil, 0.6, func(kb.EntityID) bool { return false }); ok {
+		t.Error("zero-similarity candidates must be ignored")
+	}
+}
+
+func TestAccumulatorTopK(t *testing.T) {
+	acc := newAccumulator(10)
+	acc.add(3, 1.0)
+	acc.add(5, 2.0)
+	acc.add(3, 0.5)
+	acc.add(7, 2.0)
+	top := acc.topK(2)
+	// 5 and 7 tie at 2.0; ascending ID breaks the tie.
+	want := []Cand{{ID: 5, Sim: 2.0}, {ID: 7, Sim: 2.0}}
+	if !reflect.DeepEqual(top, want) {
+		t.Errorf("topK = %v, want %v", top, want)
+	}
+	acc.reset()
+	if got := acc.topK(2); got != nil {
+		t.Errorf("after reset topK = %v", got)
+	}
+	// Reuse after reset.
+	acc.add(1, 1.5)
+	if got := acc.topK(5); len(got) != 1 || got[0].ID != 1 || math.Abs(got[0].Sim-1.5) > 1e-12 {
+		t.Errorf("reused accumulator wrong: %v", got)
+	}
+}
+
+func TestTokenWeights(t *testing.T) {
+	c := blocking.NewCollection(4, 4)
+	c.Blocks = append(c.Blocks,
+		blocking.Block{Key: "rare", E1: []kb.EntityID{0}, E2: []kb.EntityID{0}},
+		blocking.Block{Key: "mid", E1: []kb.EntityID{0, 1}, E2: []kb.EntityID{0, 1}},
+	)
+	w := tokenWeights(c)
+	if math.Abs(w[0]-1) > 1e-12 {
+		t.Errorf("rare weight = %f, want 1", w[0])
+	}
+	if want := 1 / math.Log2(5); math.Abs(w[1]-want) > 1e-12 {
+		t.Errorf("mid weight = %f, want %f", w[1], want)
+	}
+	if w[0] <= w[1] {
+		t.Error("rarer token must weigh more")
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		n := 57
+		covered := make([]int32, n)
+		parallelFor(n, workers, func(worker, start, end int) {
+			for i := start; i < end; i++ {
+				covered[i]++
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+	parallelFor(0, 4, func(worker, start, end int) {
+		t.Error("work called for n=0")
+	})
+}
+
+func TestBlockStatsExposed(t *testing.T) {
+	kb1, kb2 := nameKBs(t)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if res.NameBlockCount == 0 || res.TokenBlockCount == 0 {
+		t.Errorf("block counts missing: %+v", res)
+	}
+	if res.TokenComparisons < res.NameComparisons {
+		t.Logf("token comparisons %d < name comparisons %d (tiny fixture)", res.TokenComparisons, res.NameComparisons)
+	}
+}
+
+func buildScaleKBs(t testing.TB, n int) (*kb.KB, *kb.KB) {
+	var t1, t2 tripleList
+	for i := 0; i < n; i++ {
+		s1 := fmt.Sprintf("http://a/e%04d", i)
+		s2 := fmt.Sprintf("http://b/e%04d", i)
+		name := fmt.Sprintf("entity number %04d omega", i)
+		t1.add(s1, "http://v/name", lit(name))
+		t2.add(s2, "http://v/title", lit(name))
+		if i > 0 {
+			t1.add(s1, "http://v/link", iri(fmt.Sprintf("http://a/e%04d", i-1)))
+			t2.add(s2, "http://v/rel", iri(fmt.Sprintf("http://b/e%04d", i-1)))
+		}
+	}
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+func TestScaleAllMatched(t *testing.T) {
+	kb1, kb2 := buildScaleKBs(t, 200)
+	res := runMatcher(t, kb1, kb2, DefaultConfig())
+	if len(res.Matches) != 200 {
+		t.Fatalf("matched %d of 200", len(res.Matches))
+	}
+	for _, p := range res.Matches {
+		u1 := kb1.URI(p.E1)
+		u2 := kb2.URI(p.E2)
+		if u1[len(u1)-4:] != u2[len(u2)-4:] {
+			t.Errorf("mismatched pair %s / %s", u1, u2)
+		}
+	}
+}
+
+func BenchmarkMatcherRun(b *testing.B) {
+	kb1, kb2 := buildScaleKBs(b, 500)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMatcher(kb1, kb2, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+	}
+}

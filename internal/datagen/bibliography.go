@@ -1,0 +1,201 @@
+package datagen
+
+import "fmt"
+
+// Bibliography synthesizes the Rexa-DBLP stand-in: a small, noisy
+// bibliographic KB (Rexa role) against a large, clean one (DBLP role).
+// Ground-truth matches cover both publications and authors. Titles in
+// KB1 carry token-level noise (drops, swaps, junk insertions), so exact
+// literal equality often fails while token overlap survives — the
+// regime where MinoanER's unnormalized valueSim and the author/venue
+// neighborhood shine (Table III, column 2).
+func Bibliography(opts Options) (*Dataset, error) {
+	w := newWordGen(opts.Seed + 1)
+	matchedPubs := opts.scaled(250)
+	matchedAuthors := opts.scaled(150)
+	extraPubs1 := opts.scaled(350)
+	extraAuthors1 := opts.scaled(250)
+	extraPubs2 := opts.scaled(5500)
+	extraAuthors2 := opts.scaled(3500)
+
+	commonTopic := w.pool(80, 2) // frequent "stop-ish" title words
+	rareTopic := w.pool(8000, 3) // distinctive title words
+	junk := w.pool(300, 2)       // KB1-side corruption tokens
+	meta1 := w.pool(200, 2)      // per-KB metadata vocabularies (disjoint,
+	meta2 := w.pool(200, 4)      // so metadata never fakes cross-KB evidence)
+	firstNames := w.pool(80, 2)
+	lastNames := w.pool(2500, 3)
+	venues := w.pool(45, 3)
+
+	e1 := newEmitter("http://rexa.example.org/")
+	e1.setVocabs(3)
+	e2 := newEmitter("http://dblp.example.org/")
+	e2.setVocabs(3)
+	var gt [][2]string
+
+	type author struct {
+		first, last string
+	}
+	mkAuthor := func() author {
+		return author{first: firstNames[w.rng.Intn(len(firstNames))], last: lastNames[w.rng.Intn(len(lastNames))]}
+	}
+	authorName := func(a author) string { return a.first + " " + a.last }
+
+	emitAuthor := func(e *emitter, idx int, a author, abbreviated bool) (string, bool) {
+		u := e.entity(fmt.Sprintf("author/%05d", idx))
+		name := authorName(a)
+		abbr := false
+		if abbreviated && w.rng.Float64() < 0.35 {
+			// DBLP-style initialled given name. The surname token — the
+			// distinctive one — is preserved.
+			name = a.first[:1] + " " + a.last
+			abbr = true
+		}
+		e.attr(u, "fullName", name)
+		e.typ(u, "Person")
+		return u, abbr
+	}
+
+	type pub struct {
+		title   string
+		year    int
+		venue   string
+		authors []int // indices into the matched-author space or local extras
+	}
+	var authorURIs1, authorURIs2 []string
+
+	// Matched authors. Abbreviated DBLP entries frequently collide with
+	// other people sharing the initial and surname; a quarter of them
+	// get such a homonym in KB2 — indistinguishable by name, separable
+	// only through co-authorship.
+	type homonym struct {
+		a   author
+		idx int
+	}
+	var homonyms []homonym
+	for i := 0; i < matchedAuthors; i++ {
+		a := mkAuthor()
+		u1, _ := emitAuthor(e1, i, a, false)
+		u2, abbr := emitAuthor(e2, i, a, true)
+		authorURIs1 = append(authorURIs1, u1)
+		authorURIs2 = append(authorURIs2, u2)
+		gt = append(gt, [2]string{u1, u2})
+		if abbr && w.rng.Float64() < 0.7 {
+			homonyms = append(homonyms, homonym{a: a, idx: i})
+		}
+	}
+	// Extra authors per KB (never matched).
+	extras1Start := len(authorURIs1)
+	for i := 0; i < extraAuthors1; i++ {
+		u, _ := emitAuthor(e1, matchedAuthors+i, mkAuthor(), false)
+		authorURIs1 = append(authorURIs1, u)
+	}
+	extras2Start := len(authorURIs2)
+	for i := 0; i < extraAuthors2; i++ {
+		u, _ := emitAuthor(e2, matchedAuthors+i, mkAuthor(), true)
+		authorURIs2 = append(authorURIs2, u)
+	}
+	// The homonyms join KB2's extras with the exact abbreviated string
+	// of their namesake, and they publish too. Half sort before their
+	// namesake and half after, so deterministic tie-breaking cannot
+	// systematically favor either side.
+	for i, h := range homonyms {
+		local := fmt.Sprintf("author/h_%05d", i)
+		if i%2 == 0 {
+			local = fmt.Sprintf("aaa_author/h_%05d", i)
+		}
+		u := e2.entity(local)
+		e2.attr(u, "fullName", h.a.first[:1]+" "+h.a.last)
+		e2.typ(u, "Person")
+		authorURIs2 = append(authorURIs2, u)
+	}
+
+	// Titles mix frequent connective words with distinctive rare ones:
+	// the rare tokens carry the identifying weight under valueSim.
+	mkTitle := func() string {
+		return w.phrase(commonTopic, 2) + " " + w.phrase(rareTopic, 3+w.rng.Intn(3))
+	}
+	mkPub := func(matchedOnly bool) pub {
+		nAuth := 1 + w.rng.Intn(3)
+		p := pub{
+			title: mkTitle(),
+			year:  1985 + w.rng.Intn(30),
+			venue: venues[w.rng.Intn(len(venues))],
+		}
+		for j := 0; j < nAuth; j++ {
+			if matchedOnly {
+				p.authors = append(p.authors, w.rng.Intn(matchedAuthors))
+			} else {
+				p.authors = append(p.authors, -1) // filled by the caller's KB-local extras
+			}
+		}
+		return p
+	}
+
+	emitPub := func(e *emitter, idx int, p pub, uris []string, extraStart int, noisy bool) string {
+		u := e.entity(fmt.Sprintf("pub/%06d", idx))
+		title := p.title
+		if noisy {
+			if w.rng.Float64() < 0.15 {
+				// A slice of Rexa records is severely mangled; their
+				// titles alone cannot identify them.
+				title = w.corrupt(title, 0.5, 0.5, 0.25, junk)
+			} else {
+				title = w.corrupt(title, 0.08, 0.25, 0.05, junk)
+			}
+		}
+		e.attr(u, "title", title)
+		e.attr(u, "year", fmt.Sprintf("%d", p.year))
+		e.attr(u, "venue", p.venue)
+		e.typ(u, "Publication")
+		for _, ai := range p.authors {
+			target := ai
+			if target < 0 {
+				target = extraStart + w.rng.Intn(len(uris)-extraStart)
+			}
+			// The two KBs name the authorship relation differently
+			// (rarely-aligned labels, as in real web vocabularies).
+			relName := "author"
+			if e == e2 {
+				relName = "creator"
+			}
+			e.rel(u, relName, uris[target])
+		}
+		// Long-tail metadata on a few entities inflates the attribute
+		// count, as in the real DBLP/Rexa exports.
+		if w.rng.Float64() < 0.08 {
+			meta := meta1
+			if e == e2 {
+				meta = meta2
+			}
+			e.attr(u, fmt.Sprintf("meta%02d", w.rng.Intn(40)), w.phrase(meta, 2))
+		}
+		return u
+	}
+
+	siblings := 0
+	for i := 0; i < matchedPubs; i++ {
+		p := mkPub(true)
+		u1 := emitPub(e1, i, p, authorURIs1, extras1Start, true)
+		u2 := emitPub(e2, i, p, authorURIs2, extras2Start, false)
+		gt = append(gt, [2]string{u1, u2})
+		// Version siblings (tech report / conference / journal) reuse a
+		// paper's title core with a variant token and a shifted year —
+		// near-duplicates that value-only matching confuses.
+		if w.rng.Float64() < 0.2 {
+			sib := p
+			sib.title = p.title + " part " + rareTopic[w.rng.Intn(len(rareTopic))]
+			sib.year = p.year + 1
+			emitPub(e1, 900000+siblings, sib, authorURIs1, extras1Start, true)
+			emitPub(e2, 900000+siblings, sib, authorURIs2, extras2Start, false)
+			siblings++
+		}
+	}
+	for i := 0; i < extraPubs1; i++ {
+		emitPub(e1, matchedPubs+i, mkPub(false), authorURIs1, extras1Start, true)
+	}
+	for i := 0; i < extraPubs2; i++ {
+		emitPub(e2, matchedPubs+i, mkPub(false), authorURIs2, extras2Start, false)
+	}
+	return assemble("Rexa-DBLP", e1, e2, gt)
+}

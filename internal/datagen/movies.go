@@ -1,0 +1,250 @@
+package datagen
+
+import "fmt"
+
+// Movies synthesizes the YAGO-IMDb stand-in (scaled down ~1000×): two
+// movie KBs with *short* descriptions (≈12-15 tokens), titles built
+// from a small common vocabulary — so individual tokens are ambiguous
+// and value-only matching (BSL) collapses — while full title strings
+// stay unique, names mostly align exactly, and dense actedIn/directed
+// relations provide the structural evidence PARIS, SiGMa, and
+// MinoanER's H1/H3 thrive on (Table III, column 4).
+func Movies(opts Options) (*Dataset, error) {
+	w := newWordGen(opts.Seed + 3)
+	matchedMovies := opts.scaled(1200)
+	matchedActors := opts.scaled(700)
+	matchedDirectors := opts.scaled(200)
+	// Most movies are unmatched, as in YAGO-IMDb (56k matches out of
+	// 5.2M entities): the distractor mass is what drowns value-only
+	// matching.
+	extra1 := opts.scaled(2800)
+	extra2 := opts.scaled(3000)
+	trapPairs := opts.scaled(120)
+
+	titleWords := w.pool(150, 2) // small pool → ambiguous tokens, but below the purge cutoff
+	firstNames := w.pool(110, 2)
+	lastNames := w.pool(450, 3)
+	// Metadata token pools are disjoint between the KBs (YAGO facts vs
+	// IMDb ids share no vocabulary): junk dilutes descriptions without
+	// ever producing cross-KB collisions.
+	junk1 := w.pool(1500, 2)
+	junk2 := w.pool(1500, 4)
+	junkAttrs := []string{"code", "region", "note", "tag", "format", "source", "revision", "slot"}
+	genres := []string{"drama", "comedy", "thriller", "action", "romance", "horror", "western"}
+
+	e1 := newEmitter("http://yago.example.org/")
+	e1.setVocabs(2)
+	e2 := newEmitter("http://imdb.example.org/")
+	var gt [][2]string
+
+	// metadata dilutes every description with KB-local tokens — the
+	// defining property of YAGO-IMDb: matches share almost nothing
+	// beyond their (ambiguous) title/name tokens, so normalized value
+	// similarities collapse. Each of the junk attributes covers only
+	// ~30% of entities, keeping their importance below the name
+	// attributes'.
+	metadata := func(e *emitter, u string) {
+		junk := junk1
+		if e == e2 {
+			junk = junk2
+		}
+		n := 2 + w.rng.Intn(2)
+		for i := 0; i < n; i++ {
+			attr := junkAttrs[w.rng.Intn(len(junkAttrs))]
+			val := junk[w.rng.Intn(len(junk))] + " " + junk[w.rng.Intn(len(junk))] + " " + junk[w.rng.Intn(len(junk))]
+			e.attr(u, attr, val)
+		}
+	}
+
+	usedTitles := make(map[string]struct{})
+	freshTitle := func() string {
+		for {
+			t := w.phrase(titleWords, 2+w.rng.Intn(3))
+			if _, dup := usedTitles[t]; !dup {
+				usedTitles[t] = struct{}{}
+				return t
+			}
+		}
+	}
+	usedNames := make(map[string]struct{})
+	freshPerson := func() string {
+		for {
+			n := firstNames[w.rng.Intn(len(firstNames))] + " " + lastNames[w.rng.Intn(len(lastNames))]
+			if _, dup := usedNames[n]; !dup {
+				usedNames[n] = struct{}{}
+				return n
+			}
+		}
+	}
+
+	// --- People --------------------------------------------------------
+	var actors1, actors2, directors1, directors2 []string
+	emitPerson := func(kind string, i int, name string, matched bool) (string, string) {
+		// Person entries are thin in both KBs (as in YAGO/IMDb): the
+		// name is essentially all the value evidence there is.
+		u1 := e1.entity(fmt.Sprintf("%s/%05d", kind, i))
+		e1.attr(u1, "label", name)
+		e1.typ(u1, "Person")
+		u2 := e2.entity(fmt.Sprintf("%s/%05d", kind, i))
+		n2 := name
+		if w.rng.Float64() < 0.12 {
+			// IMDb disambiguation suffix: breaks H1 for this person.
+			n2 = fmt.Sprintf("%s %s", name, "ii")
+		}
+		e2.attr(u2, "primaryName", n2)
+		e2.typ(u2, "Name")
+		if matched {
+			gt = append(gt, [2]string{u1, u2})
+		}
+		return u1, u2
+	}
+	var homonymNames []string
+	for i := 0; i < matchedActors; i++ {
+		name := freshPerson()
+		u1, u2 := emitPerson("actor", i, name, true)
+		actors1 = append(actors1, u1)
+		actors2 = append(actors2, u2)
+		// Homonyms are common on IMDb: 30% of matched actors share
+		// their name with an unrelated person in KB2, so name evidence
+		// alone cannot resolve them — only the shared filmography can.
+		if w.rng.Float64() < 0.3 {
+			homonymNames = append(homonymNames, name)
+		}
+	}
+	for i, name := range homonymNames {
+		u := e2.entity(fmt.Sprintf("actor/h2_%05d", i))
+		e2.attr(u, "primaryName", name)
+		e2.typ(u, "Name")
+	}
+	for i := 0; i < matchedDirectors; i++ {
+		u1, u2 := emitPerson("director", i, freshPerson(), true)
+		directors1 = append(directors1, u1)
+		directors2 = append(directors2, u2)
+	}
+
+	// --- Movies --------------------------------------------------------
+	emitMovie := func(i int, title string, year int, matched bool) {
+		u1 := e1.entity(fmt.Sprintf("movie/%06d", i))
+		e1.attr(u1, "label", title)
+		e1.attr(u1, "genre", genres[w.rng.Intn(len(genres))])
+		e1.typ(u1, "Movie")
+		metadata(e1, u1)
+		u2 := e2.entity(fmt.Sprintf("movie/%06d", i))
+		t2 := title
+		if w.rng.Float64() < 0.18 {
+			// IMDb-style year-qualified title: H1 misses, neighbors must
+			// recover the match.
+			t2 = fmt.Sprintf("%s %d", title, year)
+		}
+		e2.attr(u2, "primaryTitle", t2)
+		e2.attr(u2, "startYear", fmt.Sprintf("%d", year))
+		e2.typ(u2, "Title")
+		metadata(e2, u2)
+
+		nActors := 2 + w.rng.Intn(3)
+		for a := 0; a < nActors; a++ {
+			idx := w.rng.Intn(len(actors1))
+			e1.rel(u1, "actedIn", actors1[idx]) // YAGO orientation quirk kept simple: edge per KB
+			e2.rel(u2, "hasActor", actors2[idx])
+		}
+		d := w.rng.Intn(len(directors1))
+		e1.rel(u1, "directedBy", directors1[d])
+		e2.rel(u2, "director", directors2[d])
+
+		if matched {
+			gt = append(gt, [2]string{u1, u2})
+		}
+	}
+
+	// remake emits an unmatched movie with an exact copy of a matched
+	// movie's title into one KB: identical full literals on non-matching
+	// entities are what break value-only matching on YAGO-IMDb, while
+	// relational evidence (shared cast) still disambiguates.
+	remake := func(e *emitter, idx int, title string) {
+		if e == e1 {
+			u := e1.entity(fmt.Sprintf("movie/r1_%06d", idx))
+			e1.attr(u, "label", title)
+			e1.typ(u, "Movie")
+			metadata(e1, u)
+			e1.rel(u, "directedBy", directors1[w.rng.Intn(len(directors1))])
+			for a := 0; a < 1+w.rng.Intn(2); a++ {
+				e1.rel(u, "actedIn", actors1[w.rng.Intn(len(actors1))])
+			}
+			return
+		}
+		u := e2.entity(fmt.Sprintf("movie/r2_%06d", idx))
+		e2.attr(u, "primaryTitle", title)
+		e2.attr(u, "startYear", fmt.Sprintf("%d", 1950+w.rng.Intn(70)))
+		e2.typ(u, "Title")
+		metadata(e2, u)
+		e2.rel(u, "director", directors2[w.rng.Intn(len(directors2))])
+		for a := 0; a < 1+w.rng.Intn(2); a++ {
+			e2.rel(u, "hasActor", actors2[w.rng.Intn(len(actors2))])
+		}
+	}
+
+	remakes := 0
+	used1, used2 := 0, 0
+	for i := 0; i < matchedMovies; i++ {
+		title := freshTitle()
+		emitMovie(i, title, 1950+w.rng.Intn(70), true)
+		// Most matched movies get same-title remakes; KB2 (IMDb) often
+		// lists several.
+		if w.rng.Float64() < 0.85 {
+			remake(e1, remakes, title)
+			remake(e2, remakes, title)
+			used1++
+			used2++
+			if w.rng.Float64() < 0.5 {
+				remake(e2, matchedMovies+remakes, title)
+				used2++
+			}
+			remakes++
+		}
+	}
+	extra1 -= used1
+	extra2 -= used2
+	if extra1 < 0 {
+		extra1 = 0
+	}
+	if extra2 < 0 {
+		extra2 = 0
+	}
+
+	// --- Trap pairs: remakes sharing a title across KBs -----------------
+	for i := 0; i < trapPairs; i++ {
+		title := freshTitle()
+		u1 := e1.entity(fmt.Sprintf("movie/trap1_%05d", i))
+		e1.attr(u1, "label", title)
+		e1.typ(u1, "Movie")
+		e1.rel(u1, "directedBy", directors1[w.rng.Intn(len(directors1))])
+		u2 := e2.entity(fmt.Sprintf("movie/trap2_%05d", i))
+		e2.attr(u2, "primaryTitle", title)
+		e2.typ(u2, "Title")
+		e2.rel(u2, "director", directors2[w.rng.Intn(len(directors2))])
+	}
+
+	// --- Unmatched extras ------------------------------------------------
+	for i := 0; i < extra1; i++ {
+		u := e1.entity(fmt.Sprintf("movie/x1_%06d", i))
+		e1.attr(u, "label", freshTitle())
+		e1.typ(u, "Movie")
+		metadata(e1, u)
+		e1.rel(u, "directedBy", directors1[w.rng.Intn(len(directors1))])
+		for a := 0; a < 1+w.rng.Intn(2); a++ {
+			e1.rel(u, "actedIn", actors1[w.rng.Intn(len(actors1))])
+		}
+	}
+	for i := 0; i < extra2; i++ {
+		u := e2.entity(fmt.Sprintf("movie/x2_%06d", i))
+		e2.attr(u, "primaryTitle", freshTitle())
+		e2.attr(u, "startYear", fmt.Sprintf("%d", 1950+w.rng.Intn(70)))
+		e2.typ(u, "Title")
+		metadata(e2, u)
+		e2.rel(u, "director", directors2[w.rng.Intn(len(directors2))])
+		for a := 0; a < 1+w.rng.Intn(2); a++ {
+			e2.rel(u, "hasActor", actors2[w.rng.Intn(len(actors2))])
+		}
+	}
+	return assemble("YAGO-IMDb", e1, e2, gt)
+}

@@ -1,0 +1,197 @@
+package datagen
+
+import "fmt"
+
+// Music synthesizes the BBCmusic-DBpedia stand-in, the most
+// heterogeneous pair in the evaluation: KB1 plays the clean, curated
+// BBCmusic role; KB2 plays the BTC2012-DBpedia role with an exploded
+// long-tail attribute vocabulary, a huge type inventory, and literal
+// values wrapped in qualifier junk. Exact full-literal equality across
+// the KBs is rare (PARIS collapses; H1 fires for only a small slice),
+// but the *tokens* of names survive, so MinoanER's unnormalized
+// valueSim plus band/birthplace neighbor evidence carries matching
+// (Table III, column 3). BSL's normalized measures drown in the junk
+// tokens, landing in between.
+func Music(opts Options) (*Dataset, error) {
+	w := newWordGen(opts.Seed + 2)
+	matchedMusicians := opts.scaled(700)
+	matchedBands := opts.scaled(200)
+	matchedPlaces := opts.scaled(100)
+	extra1 := opts.scaled(400)
+	extra2 := opts.scaled(6500)
+	trapPairs := opts.scaled(45) // same-name different-entity traps
+
+	firstNames := w.pool(250, 2)
+	lastNames := w.pool(4000, 3)
+	bandWords := w.pool(1500, 2)
+	placeWords := w.pool(800, 2)
+	junk := w.pool(4000, 2)     // junk value vocabulary (Zipf-picked)
+	dbpAttrs := w.pool(1500, 3) // long-tail KB2 attribute names
+	dbpTypes := w.pool(3000, 3) // huge KB2 type inventory
+	qualifiers := []string{"musician", "singer", "band", "artist", "group", "performer", "uk", "album", "rock", "pop"}
+
+	e1 := newEmitter("http://bbcmusic.example.org/")
+	e1.setVocabs(3)
+	e2 := newEmitter("http://dbpedia.example.org/")
+	e2.setVocabs(5)
+	var gt [][2]string
+
+	// junkPhrase emits Zipf-skewed junk so a few junk tokens become
+	// stop-word-frequent (purged) while the tail stays mid-frequency
+	// (diluting normalized similarities).
+	junkPhrase := func(k int) string {
+		s := ""
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += w.zipfPick(junk)
+		}
+		return s
+	}
+
+	// decorate wraps a clean name in DBpedia-style qualifiers and junk.
+	decorate := func(name string) string {
+		q := qualifiers[w.rng.Intn(len(qualifiers))]
+		return name + " " + q + " " + junkPhrase(1+w.rng.Intn(2))
+	}
+
+	// dbpediaExtras attaches the long-tail attribute noise and type
+	// explosion to a KB2 entity.
+	dbpediaExtras := func(u string) {
+		nAttrs := 6 + w.rng.Intn(7)
+		for i := 0; i < nAttrs; i++ {
+			e2.attr(u, dbpAttrs[w.rng.Intn(len(dbpAttrs))], junkPhrase(2+w.rng.Intn(4)))
+		}
+		nTypes := 1 + w.rng.Intn(4)
+		for i := 0; i < nTypes; i++ {
+			e2.typ(u, dbpTypes[w.rng.Intn(len(dbpTypes))])
+		}
+	}
+
+	usedNames := make(map[string]struct{})
+	fresh := func(gen func() string) string {
+		for {
+			n := gen()
+			if _, dup := usedNames[n]; !dup {
+				usedNames[n] = struct{}{}
+				return n
+			}
+		}
+	}
+
+	// --- Places ------------------------------------------------------
+	var placeURIs1, placeURIs2 []string
+	emitPlace := func(i int, name string, matched bool) {
+		u1 := e1.entity(fmt.Sprintf("place/%04d", i))
+		e1.attr(u1, "placeName", name)
+		e1.typ(u1, "Place")
+		placeURIs1 = append(placeURIs1, u1)
+		u2 := e2.entity(fmt.Sprintf("place/%04d", i))
+		n2 := name
+		if w.rng.Float64() < 0.85 {
+			n2 = decorate(name)
+		}
+		e2.attr(u2, "label", n2)
+		dbpediaExtras(u2)
+		placeURIs2 = append(placeURIs2, u2)
+		if matched {
+			gt = append(gt, [2]string{u1, u2})
+		}
+	}
+	for i := 0; i < matchedPlaces; i++ {
+		emitPlace(i, fresh(func() string { return w.phrase(placeWords, 1+w.rng.Intn(2)) }), true)
+	}
+
+	// --- Bands -------------------------------------------------------
+	var bandURIs1, bandURIs2 []string
+	emitBand := func(i int, name string, matched bool) {
+		u1 := e1.entity(fmt.Sprintf("band/%04d", i))
+		e1.attr(u1, "bandName", name)
+		e1.attr(u1, "bio", junkPhrase(6+w.rng.Intn(6)))
+		e1.typ(u1, "Band")
+		bandURIs1 = append(bandURIs1, u1)
+		u2 := e2.entity(fmt.Sprintf("band/%04d", i))
+		n2 := name
+		if w.rng.Float64() < 0.9 {
+			n2 = decorate(name)
+		}
+		e2.attr(u2, "label", n2)
+		dbpediaExtras(u2)
+		bandURIs2 = append(bandURIs2, u2)
+		if matched {
+			gt = append(gt, [2]string{u1, u2})
+		}
+	}
+	for i := 0; i < matchedBands; i++ {
+		emitBand(i, fresh(func() string { return "the " + w.phrase(bandWords, 1+w.rng.Intn(2)) }), true)
+	}
+
+	// --- Musicians ----------------------------------------------------
+	mkMusicianName := func() string {
+		return fresh(func() string {
+			return firstNames[w.rng.Intn(len(firstNames))] + " " + lastNames[w.rng.Intn(len(lastNames))]
+		})
+	}
+	emitMusician := func(i int, name string, matched bool) {
+		u1 := e1.entity(fmt.Sprintf("artist/%05d", i))
+		e1.attr(u1, "artistName", name)
+		e1.attr(u1, "bio", junkPhrase(14+w.rng.Intn(12)))
+		e1.typ(u1, "Musician")
+		if len(bandURIs1) > 0 && w.rng.Float64() < 0.7 {
+			b := w.rng.Intn(len(bandURIs1))
+			e1.rel(u1, "memberOf", bandURIs1[b])
+			if matched {
+				e2.rel(e2.entity(fmt.Sprintf("artist/%05d", i)), "associatedBand", bandURIs2[b])
+			}
+		}
+		if len(placeURIs1) > 0 && w.rng.Float64() < 0.8 {
+			p := w.rng.Intn(len(placeURIs1))
+			e1.rel(u1, "bornIn", placeURIs1[p])
+			if matched {
+				e2.rel(e2.entity(fmt.Sprintf("artist/%05d", i)), "birthPlace", placeURIs2[p])
+			}
+		}
+		u2 := e2.entity(fmt.Sprintf("artist/%05d", i))
+		n2 := name
+		if w.rng.Float64() < 0.92 {
+			n2 = decorate(name)
+		}
+		e2.attr(u2, "label", n2)
+		dbpediaExtras(u2)
+		if matched {
+			gt = append(gt, [2]string{u1, u2})
+		}
+	}
+	for i := 0; i < matchedMusicians; i++ {
+		emitMusician(i, mkMusicianName(), true)
+	}
+
+	// --- Trap pairs: same name, different entities ---------------------
+	// A KB1-only artist and a KB2-only artist share a name; systems
+	// trusting names alone lose precision here.
+	for i := 0; i < trapPairs; i++ {
+		name := mkMusicianName()
+		u1 := e1.entity(fmt.Sprintf("artist/trap1_%04d", i))
+		e1.attr(u1, "artistName", name)
+		e1.attr(u1, "bio", junkPhrase(8))
+		e1.typ(u1, "Musician")
+		u2 := e2.entity(fmt.Sprintf("artist/trap2_%04d", i))
+		e2.attr(u2, "label", name)
+		dbpediaExtras(u2)
+	}
+
+	// --- Unmatched extras ----------------------------------------------
+	for i := 0; i < extra1; i++ {
+		u := e1.entity(fmt.Sprintf("artist/x1_%05d", i))
+		e1.attr(u, "artistName", mkMusicianName())
+		e1.attr(u, "bio", junkPhrase(8+w.rng.Intn(8)))
+		e1.typ(u, "Musician")
+	}
+	for i := 0; i < extra2; i++ {
+		u := e2.entity(fmt.Sprintf("misc/%06d", i))
+		e2.attr(u, "label", decorate(mkMusicianName()))
+		dbpediaExtras(u)
+	}
+	return assemble("BBCmusic-DBpedia", e1, e2, gt)
+}

@@ -1,0 +1,82 @@
+package datagen
+
+import "fmt"
+
+// Restaurant synthesizes the OAEI Restaurant benchmark stand-in: two
+// small, schema-homogeneous KBs (≈7 attributes, 2 relations, 2-3 types
+// each) describing restaurants and their addresses, with strongly
+// similar values across the KBs. Every ER system should approach
+// perfect F1 here (Table III, column 1).
+func Restaurant(opts Options) (*Dataset, error) {
+	w := newWordGen(opts.Seed)
+	matched := opts.scaled(89)
+	extra1 := opts.scaled(21)
+	extra2 := opts.scaled(660)
+
+	cuisine := []string{"italian", "french", "greek", "thai", "mexican", "japanese", "indian", "american"}
+	cities := w.pool(12, 2)
+	nameWords := w.pool(600, 2)
+	streetWords := w.pool(300, 2)
+
+	e1 := newEmitter("http://restaurants1.example.org/")
+	e2 := newEmitter("http://restaurants2.example.org/")
+	var gt [][2]string
+
+	usedNames := make(map[string]struct{})
+	freshName := func() string {
+		for {
+			n := w.phrase(nameWords, 2+w.rng.Intn(2))
+			if _, dup := usedNames[n]; !dup {
+				usedNames[n] = struct{}{}
+				return n
+			}
+		}
+	}
+
+	type restaurant struct {
+		name, phone, cuisine, street, city string
+	}
+	mk := func() restaurant {
+		return restaurant{
+			name:    freshName(),
+			phone:   fmt.Sprintf("%03d-%04d", w.rng.Intn(1000), w.rng.Intn(10000)),
+			cuisine: cuisine[w.rng.Intn(len(cuisine))],
+			street:  fmt.Sprintf("%s street %d", w.phrase(streetWords, 1), 1+w.rng.Intn(200)),
+			city:    cities[w.rng.Intn(len(cities))],
+		}
+	}
+
+	emit := func(e *emitter, idx int, r restaurant, phoneStyle int) string {
+		rest := e.entity(fmt.Sprintf("restaurant/%04d", idx))
+		addr := e.entity(fmt.Sprintf("address/%04d", idx))
+		phone := r.phone
+		if phoneStyle == 1 {
+			// Same digits, different formatting: token-identical after
+			// normalization splits on '-', '/' alike.
+			phone = r.phone[:3] + "/" + r.phone[4:]
+		}
+		e.attr(rest, "name", r.name)
+		e.attr(rest, "phone", phone)
+		e.attr(rest, "category", r.cuisine)
+		e.rel(rest, "hasAddress", addr)
+		e.typ(rest, "Restaurant")
+		e.attr(addr, "street", r.street)
+		e.attr(addr, "city", r.city)
+		e.typ(addr, "Address")
+		return rest
+	}
+
+	for i := 0; i < matched; i++ {
+		r := mk()
+		u1 := emit(e1, i, r, 0)
+		u2 := emit(e2, i, r, 1)
+		gt = append(gt, [2]string{u1, u2})
+	}
+	for i := 0; i < extra1; i++ {
+		emit(e1, matched+i, mk(), 0)
+	}
+	for i := 0; i < extra2; i++ {
+		emit(e2, matched+i, mk(), 1)
+	}
+	return assemble("Restaurant", e1, e2, gt)
+}

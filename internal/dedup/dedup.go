@@ -1,0 +1,173 @@
+// Package dedup adapts the MinoanER machinery to dirty ER: finding
+// duplicate descriptions inside a single KB (the setting of Dedoop [8]
+// and classic record deduplication). The pipeline mirrors the
+// clean-clean case — Token Blocking, frequency-based purging, ARCS
+// value similarity — but compares entities of one KB against each
+// other, and returns duplicate *clusters* (connected components of
+// accepted pairs) rather than a 1-1 mapping.
+package dedup
+
+import (
+	"math"
+	"sort"
+
+	"minoaner/internal/kb"
+)
+
+// Config tunes deduplication.
+type Config struct {
+	// Threshold is the minimum valueSim for two descriptions to count
+	// as duplicates. The H2 rationale carries over: 1.0 means "a token
+	// unique to the pair, or several infrequent shared tokens".
+	Threshold float64
+	// MaxTokenFraction purges tokens carried by more than this fraction
+	// of the KB (stop-words), with MinTokenEntities as floor.
+	MaxTokenFraction float64
+	MinTokenEntities int
+}
+
+// DefaultConfig mirrors the clean-clean defaults.
+func DefaultConfig() Config {
+	return Config{Threshold: 1.0, MaxTokenFraction: 0.03, MinTokenEntities: 25}
+}
+
+// Pair is one accepted duplicate pair (A < B).
+type Pair struct {
+	A, B kb.EntityID
+	Sim  float64
+}
+
+// Result holds the accepted pairs and their transitive clusters.
+type Result struct {
+	// Pairs are the accepted duplicate pairs sorted by (A, B).
+	Pairs []Pair
+	// Clusters are the connected components with at least two members,
+	// each sorted, ordered by their smallest member.
+	Clusters [][]kb.EntityID
+}
+
+// Run deduplicates the KB.
+func Run(k *kb.KB, cfg Config) *Result {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1.0
+	}
+	cutoff := int(cfg.MaxTokenFraction * float64(k.Len()))
+	if cutoff < cfg.MinTokenEntities {
+		cutoff = cfg.MinTokenEntities
+	}
+
+	// Inverted index over tokens, skipping purged (stop-word) tokens.
+	index := make(map[string][]kb.EntityID)
+	for i := 0; i < k.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, tok := range k.Tokens(id) {
+			if k.EF(tok) > cutoff {
+				continue
+			}
+			index[tok] = append(index[tok], id)
+		}
+	}
+
+	// Accumulate valueSim per candidate pair. In the dirty setting a
+	// token shared by a duplicate pair has EF >= 2 by construction, so
+	// the clean-clean weight 1/log2(EF1·EF2+1) would never reach 1;
+	// the dirty analogue weights by the token block's comparison count
+	// ||b|| = EF·(EF-1)/2 instead: a token unique to one pair
+	// contributes exactly 1, preserving the H2 threshold semantics.
+	// Enumeration is per entity over its blocks, counting each
+	// unordered pair once (A < B).
+	sums := make([]float64, k.Len())
+	touched := make([]kb.EntityID, 0, 64)
+	var pairs []Pair
+	for i := 0; i < k.Len(); i++ {
+		a := kb.EntityID(i)
+		for _, tok := range k.Tokens(a) {
+			members, ok := index[tok]
+			if !ok {
+				continue
+			}
+			ef := float64(k.EF(tok))
+			comparisons := ef * (ef - 1) / 2
+			w := 1 / math.Log2(comparisons+1)
+			for _, b := range members {
+				if b <= a {
+					continue
+				}
+				if sums[b] == 0 {
+					touched = append(touched, b)
+				}
+				sums[b] += w
+			}
+		}
+		for _, b := range touched {
+			if sums[b] >= cfg.Threshold {
+				pairs = append(pairs, Pair{A: a, B: b, Sim: sums[b]})
+			}
+			sums[b] = 0
+		}
+		touched = touched[:0]
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+
+	return &Result{Pairs: pairs, Clusters: clusterize(pairs, k.Len())}
+}
+
+// clusterize builds the connected components of the accepted pairs.
+func clusterize(pairs []Pair, n int) [][]kb.EntityID {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range pairs {
+		ra, rb := find(int32(p.A)), find(int32(p.B))
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byRoot := make(map[int32][]kb.EntityID)
+	for _, p := range pairs {
+		for _, e := range [2]kb.EntityID{p.A, p.B} {
+			root := find(int32(e))
+			members := byRoot[root]
+			if len(members) == 0 || members[len(members)-1] != e {
+				byRoot[root] = append(members, e)
+			}
+		}
+	}
+	out := make([][]kb.EntityID, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		members = dedupSorted(members)
+		if len(members) >= 2 {
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func dedupSorted(in []kb.EntityID) []kb.EntityID {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package dedup
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func kbFromValues(t testing.TB, values []string) *kb.KB {
+	t.Helper()
+	var triples []rdf.Triple
+	for i, v := range values {
+		triples = append(triples, rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://d/e%03d", i)),
+			rdf.NewIRI("http://v/name"),
+			rdf.NewLiteral(v),
+		))
+	}
+	k, err := kb.FromTriples("dirty", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRunFindsDuplicates(t *testing.T) {
+	k := kbFromValues(t, []string{
+		"joes diner downtown",  // e0
+		"central cafe uptown",  // e1
+		"joes diner down town", // e2: duplicate of e0
+		"completely different", // e3
+	})
+	res := Run(k, DefaultConfig())
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+	e0, _ := k.Lookup("http://d/e000")
+	e2, _ := k.Lookup("http://d/e002")
+	if !reflect.DeepEqual(res.Clusters[0], []kb.EntityID{e0, e2}) {
+		t.Errorf("cluster = %v, want [%d %d]", res.Clusters[0], e0, e2)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].Sim < 1 {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestRunTransitiveClusters(t *testing.T) {
+	// e0~e1 and e1~e2 via distinct rare tokens; the cluster must merge
+	// all three even though e0 and e2 share nothing.
+	k := kbFromValues(t, []string{
+		"uniqueab linkone",
+		"linkone linktwo",
+		"linktwo uniquecd",
+		"unrelated entity",
+	})
+	res := Run(k, DefaultConfig())
+	if len(res.Clusters) != 1 || len(res.Clusters[0]) != 3 {
+		t.Fatalf("clusters = %v, want one 3-cluster", res.Clusters)
+	}
+}
+
+func TestRunThreshold(t *testing.T) {
+	k := kbFromValues(t, []string{
+		"shared tokena",
+		"shared tokenb",
+		"shared tokenc",
+	})
+	// "shared" has EF 3 → block comparisons 3 → weight 1/2: below the
+	// default threshold, so no duplicates.
+	res := Run(k, DefaultConfig())
+	if len(res.Pairs) != 0 {
+		t.Errorf("sub-threshold pair accepted: %v", res.Pairs)
+	}
+	// A permissive threshold accepts all three pairs.
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.3
+	res = Run(k, cfg)
+	if len(res.Pairs) != 3 {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestRunStopwordPurging(t *testing.T) {
+	// 60 entities share the token "the" plus one unique token each;
+	// without purging that is ~1800 candidate pairs. With it, none.
+	values := make([]string, 60)
+	for i := range values {
+		values[i] = fmt.Sprintf("the unique%02d", i)
+	}
+	k := kbFromValues(t, values)
+	res := Run(k, DefaultConfig())
+	if len(res.Pairs) != 0 {
+		t.Errorf("stop-word produced %d pairs", len(res.Pairs))
+	}
+}
+
+func TestRunEmptyKB(t *testing.T) {
+	k := kbFromValues(t, nil)
+	res := Run(k, DefaultConfig())
+	if len(res.Pairs) != 0 || len(res.Clusters) != 0 {
+		t.Errorf("nonempty result on empty KB: %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	values := []string{
+		"alpha beta gamma", "alpha beta gamma x", "delta epsilon",
+		"delta epsilon y", "zeta eta theta",
+	}
+	k := kbFromValues(t, values)
+	a := Run(k, DefaultConfig())
+	b := Run(k, DefaultConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Error("nondeterministic dedup")
+	}
+}
+
+func BenchmarkDedup(b *testing.B) {
+	values := make([]string, 2000)
+	for i := range values {
+		values[i] = fmt.Sprintf("entity number %04d with words w%d w%d", i, i%97, i%53)
+	}
+	k := kbFromValues(b, values)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(k, DefaultConfig())
+	}
+}

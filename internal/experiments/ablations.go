@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+)
+
+// Variant is one MinoanER configuration under ablation.
+type Variant struct {
+	Name   string
+	Config core.Config
+}
+
+// Variants enumerates the ablations of the design choices DESIGN.md
+// calls out: each heuristic switched off, the θ trade-off swept, the
+// candidate-list depth K varied, and Block Purging replaced or
+// disabled.
+func Variants() []Variant {
+	mk := func(name string, mut func(*core.Config)) Variant {
+		cfg := core.DefaultConfig()
+		mut(&cfg)
+		return Variant{Name: name, Config: cfg}
+	}
+	return []Variant{
+		mk("full", func(c *core.Config) {}),
+		mk("no-H1", func(c *core.Config) { c.DisableH1 = true }),
+		mk("no-H2", func(c *core.Config) { c.DisableH2 = true }),
+		mk("no-H3", func(c *core.Config) { c.DisableH3 = true }),
+		mk("no-H4", func(c *core.Config) { c.DisableH4 = true }),
+		mk("theta=0.2", func(c *core.Config) { c.Theta = 0.2 }),
+		mk("theta=0.8", func(c *core.Config) { c.Theta = 0.8 }),
+		mk("K=5", func(c *core.Config) { c.K = 5 }),
+		mk("K=30", func(c *core.Config) { c.K = 30 }),
+		mk("N=1", func(c *core.Config) { c.N = 1 }),
+		mk("no-purge", func(c *core.Config) { c.Purge = blocking.NoPurge() }),
+	}
+}
+
+// RunVariant executes one ablation variant on one dataset.
+func RunVariant(ds *datagen.Dataset, v Variant) eval.Metrics {
+	m, err := core.NewMatcher(ds.KB1, ds.KB2, v.Config)
+	if err != nil {
+		panic(err) // Variants produces valid configs only
+	}
+	return eval.Evaluate(m.Run().Matches, ds.GT)
+}
+
+// AblationTable reports F1 per variant per dataset.
+func AblationTable(datasets []*datagen.Dataset) *Table {
+	t := &Table{
+		Title:  "ABLATIONS — MinoanER F1 PER VARIANT",
+		Header: append([]string{"variant"}, names(datasets)...),
+	}
+	for _, v := range Variants() {
+		cells := []string{v.Name}
+		for _, ds := range datasets {
+			m := RunVariant(ds, v)
+			cells = append(cells, pct(m.F1))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariantsAreValid(t *testing.T) {
+	vs := Variants()
+	if len(vs) < 8 {
+		t.Fatalf("only %d variants", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		if err := v.Config.Validate(); err != nil {
+			t.Errorf("variant %q invalid: %v", v.Name, err)
+		}
+		if names[v.Name] {
+			t.Errorf("duplicate variant name %q", v.Name)
+		}
+		names[v.Name] = true
+	}
+	for _, want := range []string{"full", "no-H1", "no-H2", "no-H3", "no-H4", "no-purge"} {
+		if !names[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+}
+
+func TestRunVariantAndAblationTable(t *testing.T) {
+	ds := datasets(t)
+	full := RunVariant(ds[0], Variants()[0])
+	if full.F1 < 0.9 {
+		t.Errorf("full variant on Restaurant F1 = %v", full)
+	}
+	tab := AblationTable(ds[:1])
+	if len(tab.Rows) != len(Variants()) {
+		t.Errorf("ablation rows = %d, want %d", len(tab.Rows), len(Variants()))
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no-H3") {
+		t.Error("ablation table missing variants")
+	}
+}
+
+func TestNoH3HurtsOnRelationalData(t *testing.T) {
+	ds := datasets(t)
+	var yago *struct{}
+	_ = yago
+	for _, d := range ds {
+		if d.Name != "YAGO-IMDb" {
+			continue
+		}
+		full := RunVariant(d, Variants()[0])
+		var noH3 Variant
+		for _, v := range Variants() {
+			if v.Name == "no-H3" {
+				noH3 = v
+			}
+		}
+		ablated := RunVariant(d, noH3)
+		if ablated.F1 >= full.F1 {
+			t.Errorf("removing H3 did not hurt on YAGO-IMDb: %.3f vs %.3f", ablated.F1, full.F1)
+		}
+		return
+	}
+	t.Fatal("YAGO-IMDb dataset missing")
+}
+
+func TestBlockingStrategyTable(t *testing.T) {
+	ds := datasets(t)
+	tab := BlockingStrategyTable(ds[:1]) // Restaurant only: fast
+	if len(tab.Rows) != 6 {
+		t.Fatalf("strategies = %d, want 6", len(tab.Rows))
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"token blocking (raw)", "meta-blocking ARCS/WNP", "attribute clustering", "@"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("blocking study missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package experiments regenerates the three tables of the paper's
+// evaluation (§IV) over the synthesized benchmark stand-ins:
+//
+//   - Table I  — dataset statistics
+//   - Table II — block statistics of B_N and B_T
+//   - Table III — precision/recall/F1 of SiGMa, LINDA, RiMOM, PARIS,
+//     BSL, and MinoanER
+//
+// Absolute numbers differ from the paper (the substrates are synthetic;
+// see DESIGN.md §2), but the comparative shapes are expected to hold.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"minoaner/internal/baseline"
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/linda"
+	"minoaner/internal/paris"
+	"minoaner/internal/rimom"
+	"minoaner/internal/sigma"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table in aligned-column text form.
+func (t *Table) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return tw.Flush()
+}
+
+// Datasets builds all four benchmark stand-ins.
+func Datasets(opts datagen.Options) ([]*datagen.Dataset, error) {
+	var out []*datagen.Dataset
+	for _, g := range datagen.Generators() {
+		ds, err := g.Build(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// TableI reports the dataset statistics of Table I.
+func TableI(datasets []*datagen.Dataset) *Table {
+	t := &Table{
+		Title:  "TABLE I — DATASET STATISTICS",
+		Header: append([]string{""}, names(datasets)...),
+	}
+	row := func(label string, f func(*datagen.Dataset) string) {
+		cells := []string{label}
+		for _, ds := range datasets {
+			cells = append(cells, f(ds))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("E1 entities", func(d *datagen.Dataset) string { return fmt.Sprintf("%d", d.KB1.Len()) })
+	row("E2 entities", func(d *datagen.Dataset) string { return fmt.Sprintf("%d", d.KB2.Len()) })
+	row("E1 triples", func(d *datagen.Dataset) string { return fmt.Sprintf("%d", d.KB1.NumTriples()) })
+	row("E2 triples", func(d *datagen.Dataset) string { return fmt.Sprintf("%d", d.KB2.NumTriples()) })
+	row("E1 av. tokens", func(d *datagen.Dataset) string { return fmt.Sprintf("%.2f", d.KB1.AvgTokens()) })
+	row("E2 av. tokens", func(d *datagen.Dataset) string { return fmt.Sprintf("%.2f", d.KB2.AvgTokens()) })
+	row("E1/E2 attributes", func(d *datagen.Dataset) string {
+		return fmt.Sprintf("%d / %d", d.KB1.NumAttributes(), d.KB2.NumAttributes())
+	})
+	row("E1/E2 relations", func(d *datagen.Dataset) string {
+		return fmt.Sprintf("%d / %d", d.KB1.NumRelations(), d.KB2.NumRelations())
+	})
+	row("E1/E2 types", func(d *datagen.Dataset) string {
+		return fmt.Sprintf("%d / %d", d.KB1.NumTypes(), d.KB2.NumTypes())
+	})
+	row("E1/E2 vocab.", func(d *datagen.Dataset) string {
+		return fmt.Sprintf("%d / %d", d.KB1.NumVocabularies(), d.KB2.NumVocabularies())
+	})
+	row("Matches", func(d *datagen.Dataset) string { return fmt.Sprintf("%d", d.GT.Len()) })
+	return t
+}
+
+// BlockReport carries the Table II numbers for one dataset.
+type BlockReport struct {
+	Dataset          string
+	NameBlocks       blocking.Stats
+	TokenBlocks      blocking.Stats
+	UnionStats       blocking.Stats
+	CartesianProduct float64
+}
+
+// BlockStats computes the Table II statistics for one dataset: B_N with
+// the paper's k=2 name attributes, B_T purged with the default
+// smoothing.
+func BlockStats(ds *datagen.Dataset) BlockReport {
+	bn := blocking.NameBlocks(ds.KB1, ds.KB2, 2)
+	bt := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	bt, _ = blocking.Purge(bt, blocking.DefaultPurgeConfig())
+	union := blocking.Union("N:", bn, "T:", bt)
+	return BlockReport{
+		Dataset:          ds.Name,
+		NameBlocks:       blocking.ComputeStats(bn, ds.GT),
+		TokenBlocks:      blocking.ComputeStats(bt, ds.GT),
+		UnionStats:       blocking.ComputeStats(union, ds.GT),
+		CartesianProduct: float64(ds.KB1.Len()) * float64(ds.KB2.Len()),
+	}
+}
+
+// TableII reports the block statistics of Table II.
+func TableII(datasets []*datagen.Dataset) *Table {
+	reports := make([]BlockReport, len(datasets))
+	for i, ds := range datasets {
+		reports[i] = BlockStats(ds)
+	}
+	t := &Table{
+		Title:  "TABLE II — BLOCK STATISTICS",
+		Header: append([]string{""}, names(datasets)...),
+	}
+	row := func(label string, f func(BlockReport) string) {
+		cells := []string{label}
+		for _, r := range reports {
+			cells = append(cells, f(r))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	row("|BN|", func(r BlockReport) string { return fmt.Sprintf("%d", r.NameBlocks.Blocks) })
+	row("|BT|", func(r BlockReport) string { return fmt.Sprintf("%d", r.TokenBlocks.Blocks) })
+	row("||BN||", func(r BlockReport) string { return sci(float64(r.NameBlocks.Comparisons)) })
+	row("||BT||", func(r BlockReport) string { return sci(float64(r.TokenBlocks.Comparisons)) })
+	row("|E1|·|E2|", func(r BlockReport) string { return sci(r.CartesianProduct) })
+	row("Precision", func(r BlockReport) string { return pct(r.UnionStats.Precision) })
+	row("Recall", func(r BlockReport) string { return pct(r.UnionStats.Recall) })
+	row("F1", func(r BlockReport) string { return pct(r.UnionStats.F1) })
+	return t
+}
+
+// Method is one entity-resolution system under comparison.
+type Method struct {
+	Name string
+	Run  func(ds *datagen.Dataset) []eval.Pair
+}
+
+// Methods returns the six systems of Table III in the paper's row
+// order.
+func Methods() []Method {
+	return []Method{
+		{Name: "SiGMa", Run: func(ds *datagen.Dataset) []eval.Pair {
+			return sigma.Run(ds.KB1, ds.KB2, sigma.DefaultConfig())
+		}},
+		{Name: "LINDA", Run: func(ds *datagen.Dataset) []eval.Pair {
+			return linda.Run(ds.KB1, ds.KB2, linda.DefaultConfig())
+		}},
+		{Name: "RiMOM", Run: func(ds *datagen.Dataset) []eval.Pair {
+			return rimom.Run(ds.KB1, ds.KB2, rimom.DefaultConfig())
+		}},
+		{Name: "PARIS", Run: func(ds *datagen.Dataset) []eval.Pair {
+			return paris.Run(ds.KB1, ds.KB2, paris.DefaultConfig())
+		}},
+		{Name: "BSL", Run: func(ds *datagen.Dataset) []eval.Pair {
+			return baseline.Run(ds.KB1, ds.KB2, ds.GT, baseline.DefaultConfig()).BestMatches
+		}},
+		{Name: "MinoanER", Run: func(ds *datagen.Dataset) []eval.Pair {
+			m, err := core.NewMatcher(ds.KB1, ds.KB2, core.DefaultConfig())
+			if err != nil {
+				panic(err) // DefaultConfig is always valid
+			}
+			return m.Run().Matches
+		}},
+	}
+}
+
+// MethodResult is one Table III cell group.
+type MethodResult struct {
+	Method  string
+	Dataset string
+	Metrics eval.Metrics
+}
+
+// RunMethods evaluates the given methods on every dataset.
+func RunMethods(datasets []*datagen.Dataset, methods []Method) []MethodResult {
+	var out []MethodResult
+	for _, m := range methods {
+		for _, ds := range datasets {
+			matches := m.Run(ds)
+			out = append(out, MethodResult{
+				Method:  m.Name,
+				Dataset: ds.Name,
+				Metrics: eval.Evaluate(matches, ds.GT),
+			})
+		}
+	}
+	return out
+}
+
+// TableIII renders method results in the paper's layout: one block of
+// Prec./Recall/F1 rows per method.
+func TableIII(datasets []*datagen.Dataset, results []MethodResult) *Table {
+	t := &Table{
+		Title:  "TABLE III — EVALUATION COMPARED TO EXISTING METHODS",
+		Header: append([]string{"", ""}, names(datasets)...),
+	}
+	byKey := make(map[string]eval.Metrics, len(results))
+	var methodOrder []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		byKey[r.Method+"\x00"+r.Dataset] = r.Metrics
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			methodOrder = append(methodOrder, r.Method)
+		}
+	}
+	for _, m := range methodOrder {
+		rows := []struct {
+			label string
+			get   func(eval.Metrics) float64
+		}{
+			{"Prec.", func(x eval.Metrics) float64 { return x.Precision }},
+			{"Recall", func(x eval.Metrics) float64 { return x.Recall }},
+			{"F1", func(x eval.Metrics) float64 { return x.F1 }},
+		}
+		for i, spec := range rows {
+			cells := []string{"", spec.label}
+			if i == 0 {
+				cells[0] = m
+			}
+			for _, ds := range datasets {
+				metrics, ok := byKey[m+"\x00"+ds.Name]
+				if !ok {
+					cells = append(cells, "-")
+					continue
+				}
+				cells = append(cells, fmt.Sprintf("%.2f", 100*spec.get(metrics)))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+	return t
+}
+
+func names(datasets []*datagen.Dataset) []string {
+	out := make([]string, len(datasets))
+	for i, ds := range datasets {
+		out[i] = ds.Name
+	}
+	return out
+}
+
+func sci(v float64) string {
+	if v < 10000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+func pct(v float64) string {
+	p := 100 * v
+	if p != 0 && p < 0.01 {
+		return fmt.Sprintf("%.2e", p)
+	}
+	return fmt.Sprintf("%.2f", p)
+}

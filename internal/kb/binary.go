@@ -1,0 +1,280 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of a built KB. Loading a large N-Triples dump
+// re-tokenizes every literal and re-derives all statistics; the binary
+// format stores the assembled structure instead, making reload
+// I/O-bound. The format is versioned and self-describing:
+//
+//	magic "MKB1" | version | name | predicates | per-predicate stats |
+//	entities (URI, attrs, out-edges, types, tokens) | triple count
+//
+// Derived structures (in-edges, EF, URI index, type/vocab sets) are
+// rebuilt on load — they are redundant with the stored data.
+
+var binaryMagic = [4]byte{'M', 'K', 'B', '1'}
+
+const binaryVersion = 1
+
+// errCorrupt wraps structural failures of the binary decoder.
+var errCorrupt = errors.New("kb: corrupt binary KB")
+
+// WriteBinary serializes the KB in the binary format.
+func (kb *KB) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	enc := &binWriter{w: bw}
+	enc.uvarint(binaryVersion)
+	enc.str(kb.name)
+	enc.uvarint(uint64(kb.numTriples))
+
+	enc.uvarint(uint64(len(kb.preds)))
+	for _, p := range kb.preds {
+		enc.str(p)
+	}
+	writeStats := func(m map[int32]*PredStat) {
+		enc.uvarint(uint64(len(m)))
+		for pid := int32(0); pid < int32(len(kb.preds)); pid++ {
+			st, ok := m[pid]
+			if !ok {
+				continue
+			}
+			enc.uvarint(uint64(pid))
+			enc.uvarint(uint64(st.Entities))
+			enc.uvarint(uint64(st.Distinct))
+			enc.float(st.Importance)
+		}
+	}
+	writeStats(kb.attrStats)
+	writeStats(kb.relStats)
+
+	enc.uvarint(uint64(len(kb.entities)))
+	for i := range kb.entities {
+		e := &kb.entities[i]
+		enc.str(e.URI)
+		enc.uvarint(uint64(len(e.Attrs)))
+		for _, av := range e.Attrs {
+			enc.uvarint(uint64(av.Pred))
+			enc.str(av.Value)
+		}
+		enc.uvarint(uint64(len(e.Out)))
+		for _, edge := range e.Out {
+			enc.uvarint(uint64(edge.Pred))
+			enc.uvarint(uint64(edge.Target))
+		}
+		enc.uvarint(uint64(len(e.Types)))
+		for _, t := range e.Types {
+			enc.str(t)
+		}
+		enc.uvarint(uint64(len(e.Tokens)))
+		for _, t := range e.Tokens {
+			enc.str(t)
+		}
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a KB written by WriteBinary.
+func ReadBinary(r io.Reader) (*KB, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", errCorrupt, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errCorrupt, magic[:])
+	}
+	dec := &binReader{r: br}
+	if v := dec.uvarint(); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", errCorrupt, v)
+	}
+	kb := &KB{
+		uriIndex:  make(map[string]EntityID),
+		predIndex: make(map[string]int32),
+		ef:        make(map[string]int32),
+		attrStats: make(map[int32]*PredStat),
+		relStats:  make(map[int32]*PredStat),
+		typeSet:   make(map[string]struct{}),
+		vocabSet:  make(map[string]struct{}),
+	}
+	kb.name = dec.str()
+	kb.numTriples = int(dec.uvarint())
+
+	nPreds := dec.uvarint()
+	if dec.err == nil && nPreds > 1<<24 {
+		return nil, fmt.Errorf("%w: absurd predicate count %d", errCorrupt, nPreds)
+	}
+	for i := uint64(0); i < nPreds && dec.err == nil; i++ {
+		p := dec.str()
+		kb.predIndex[p] = int32(len(kb.preds))
+		kb.preds = append(kb.preds, p)
+		kb.vocabSet[namespaceOf(p)] = struct{}{}
+	}
+	readStats := func(m map[int32]*PredStat) {
+		n := dec.uvarint()
+		for i := uint64(0); i < n && dec.err == nil; i++ {
+			pid := int32(dec.uvarint())
+			st := &PredStat{Pred: pid}
+			st.Entities = int(dec.uvarint())
+			st.Distinct = int(dec.uvarint())
+			st.Importance = dec.float()
+			if pid < 0 || int(pid) >= len(kb.preds) {
+				dec.fail("predicate id out of range")
+				return
+			}
+			m[pid] = st
+		}
+	}
+	readStats(kb.attrStats)
+	readStats(kb.relStats)
+
+	nEnt := dec.uvarint()
+	if dec.err == nil && nEnt > 1<<31 {
+		return nil, fmt.Errorf("%w: absurd entity count %d", errCorrupt, nEnt)
+	}
+	kb.entities = make([]Entity, 0, min64(nEnt, 1<<20))
+	for i := uint64(0); i < nEnt && dec.err == nil; i++ {
+		var e Entity
+		e.URI = dec.str()
+		nAttrs := dec.uvarint()
+		for a := uint64(0); a < nAttrs && dec.err == nil; a++ {
+			pred := int32(dec.uvarint())
+			val := dec.str()
+			if int(pred) >= len(kb.preds) {
+				dec.fail("attribute predicate out of range")
+				break
+			}
+			e.Attrs = append(e.Attrs, AttrValue{Pred: pred, Value: val})
+		}
+		nOut := dec.uvarint()
+		for o := uint64(0); o < nOut && dec.err == nil; o++ {
+			pred := int32(dec.uvarint())
+			tgt := EntityID(dec.uvarint())
+			if int(pred) >= len(kb.preds) || uint64(tgt) >= nEnt {
+				dec.fail("edge out of range")
+				break
+			}
+			e.Out = append(e.Out, Edge{Pred: pred, Target: tgt})
+		}
+		nTypes := dec.uvarint()
+		for x := uint64(0); x < nTypes && dec.err == nil; x++ {
+			typ := dec.str()
+			e.Types = append(e.Types, typ)
+			kb.typeSet[typ] = struct{}{}
+		}
+		nTokens := dec.uvarint()
+		for x := uint64(0); x < nTokens && dec.err == nil; x++ {
+			e.Tokens = append(e.Tokens, dec.str())
+		}
+		kb.uriIndex[e.URI] = EntityID(len(kb.entities))
+		kb.entities = append(kb.entities, e)
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+
+	// Rebuild derived structures.
+	if len(kb.typeSet) > 0 {
+		kb.vocabSet[namespaceOf(RDFType)] = struct{}{}
+	}
+	for i := range kb.entities {
+		e := &kb.entities[i]
+		for _, edge := range e.Out {
+			kb.entities[edge.Target].In = append(kb.entities[edge.Target].In, Edge{Pred: edge.Pred, Target: EntityID(i)})
+		}
+		kb.totalTokens += len(e.Tokens)
+		for _, tok := range e.Tokens {
+			kb.ef[tok]++
+		}
+	}
+	return kb, nil
+}
+
+type binWriter struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (b *binWriter) uvarint(v uint64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutUvarint(b.buf[:], v)
+	_, b.err = b.w.Write(b.buf[:n])
+}
+
+func (b *binWriter) str(s string) {
+	b.uvarint(uint64(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+func (b *binWriter) float(f float64) {
+	b.uvarint(math.Float64bits(f))
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("%w: %s", errCorrupt, msg)
+	}
+}
+
+func (b *binReader) uvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		b.err = fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return v
+}
+
+func (b *binReader) str() string {
+	n := b.uvarint()
+	if b.err != nil {
+		return ""
+	}
+	if n > 1<<28 {
+		b.fail("absurd string length")
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = fmt.Errorf("%w: %v", errCorrupt, err)
+		return ""
+	}
+	return string(buf)
+}
+
+func (b *binReader) float() float64 {
+	return math.Float64frombits(b.uvarint())
+}
+
+func min64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

@@ -1,0 +1,443 @@
+// Package kb assembles raw RDF triples into the Knowledge Base substrate
+// MinoanER matches against: per-entity descriptions (bags of tokens,
+// attribute-value pairs, neighbor links) plus the dataset statistics the
+// paper derives all matching evidence from — attribute/relation
+// importance and token entity-frequencies.
+//
+// Terminology follows the paper:
+//
+//   - An entity is any URI (or blank node) that appears as the subject of
+//     at least one triple.
+//   - A predicate whose objects are literals (or URIs that do not denote
+//     an entity of this KB) is an attribute.
+//   - A predicate whose objects are entities of the same KB is a
+//     relation; relations induce the entity graph used for neighbor
+//     evidence.
+//   - rdf:type triples are tracked separately (they define the "types"
+//     column of Table I) and contribute neither attribute tokens nor
+//     relations.
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minoaner/internal/rdf"
+	"minoaner/internal/tokenize"
+)
+
+// RDFType is the predicate IRI that declares an entity's type.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// EntityID indexes an entity within one KB.
+type EntityID int32
+
+// AttrValue is one attribute-value pair of a description.
+type AttrValue struct {
+	Pred  int32  // predicate ID within the KB's dictionary
+	Value string // literal lexical form (or dangling-URI local name)
+}
+
+// Edge is one relation edge of the entity graph.
+type Edge struct {
+	Pred   int32    // relation ID within the KB's dictionary
+	Target EntityID // the neighboring entity
+}
+
+// Entity is one fully assembled description.
+type Entity struct {
+	URI    string
+	Attrs  []AttrValue
+	Out    []Edge   // edges where this entity is the subject
+	In     []Edge   // edges where this entity is the object
+	Types  []string // rdf:type object IRIs
+	Tokens []string // distinct lowercase tokens of all attribute values
+}
+
+// KB is an immutable knowledge base. Build one with a Builder.
+type KB struct {
+	name     string
+	entities []Entity
+	uriIndex map[string]EntityID
+
+	preds     []string         // predicate dictionary
+	predIndex map[string]int32 // reverse dictionary
+
+	ef map[string]int32 // token -> number of entities containing it
+
+	attrStats map[int32]*PredStat // literal-valued predicates
+	relStats  map[int32]*PredStat // entity-valued predicates
+
+	numTriples  int
+	totalTokens int // sum over entities of len(Tokens)
+	typeSet     map[string]struct{}
+	vocabSet    map[string]struct{}
+}
+
+// PredStat aggregates the statistics the paper's importance metric needs
+// for one predicate (attribute or relation).
+type PredStat struct {
+	Pred       int32
+	Entities   int     // number of entities whose description contains the predicate (support count)
+	Distinct   int     // number of distinct objects associated with the predicate
+	Importance float64 // harmonic mean of support and discriminability
+}
+
+// Name returns the KB's display name.
+func (kb *KB) Name() string { return kb.name }
+
+// Len returns the number of entities.
+func (kb *KB) Len() int { return len(kb.entities) }
+
+// NumTriples returns the number of triples consumed by the builder
+// (after deduplication).
+func (kb *KB) NumTriples() int { return kb.numTriples }
+
+// Entity returns the description with the given ID.
+func (kb *KB) Entity(id EntityID) *Entity { return &kb.entities[id] }
+
+// Lookup resolves a URI to its entity ID.
+func (kb *KB) Lookup(uri string) (EntityID, bool) {
+	id, ok := kb.uriIndex[uri]
+	return id, ok
+}
+
+// URI returns the URI of an entity.
+func (kb *KB) URI(id EntityID) string { return kb.entities[id].URI }
+
+// Pred returns the predicate name for a dictionary ID.
+func (kb *KB) Pred(id int32) string { return kb.preds[id] }
+
+// PredID resolves a predicate name to its dictionary ID.
+func (kb *KB) PredID(name string) (int32, bool) {
+	id, ok := kb.predIndex[name]
+	return id, ok
+}
+
+// EF returns the entity frequency of a token: the number of entities of
+// this KB whose values contain it. Unknown tokens have frequency 0.
+func (kb *KB) EF(token string) int { return int(kb.ef[token]) }
+
+// Tokens returns the distinct tokens of an entity's values.
+func (kb *KB) Tokens(id EntityID) []string { return kb.entities[id].Tokens }
+
+// AvgTokens returns the mean number of distinct tokens per entity
+// (the "av. tokens" row of Table I).
+func (kb *KB) AvgTokens() float64 {
+	if len(kb.entities) == 0 {
+		return 0
+	}
+	return float64(kb.totalTokens) / float64(len(kb.entities))
+}
+
+// NumAttributes returns the number of distinct attribute predicates.
+func (kb *KB) NumAttributes() int { return len(kb.attrStats) }
+
+// NumRelations returns the number of distinct relation predicates.
+func (kb *KB) NumRelations() int { return len(kb.relStats) }
+
+// NumTypes returns the number of distinct rdf:type objects.
+func (kb *KB) NumTypes() int { return len(kb.typeSet) }
+
+// NumVocabularies returns the number of distinct predicate namespaces
+// (the prefix up to the last '#' or '/').
+func (kb *KB) NumVocabularies() int { return len(kb.vocabSet) }
+
+// AttrStat returns the statistics of an attribute predicate, or nil.
+func (kb *KB) AttrStat(pred int32) *PredStat { return kb.attrStats[pred] }
+
+// RelStat returns the statistics of a relation predicate, or nil.
+func (kb *KB) RelStat(pred int32) *PredStat { return kb.relStats[pred] }
+
+// AttrStats returns all attribute statistics sorted by descending
+// importance, ties broken by predicate name for determinism.
+func (kb *KB) AttrStats() []*PredStat { return kb.sortedStats(kb.attrStats) }
+
+// RelStats returns all relation statistics sorted by descending
+// importance, ties broken by predicate name.
+func (kb *KB) RelStats() []*PredStat { return kb.sortedStats(kb.relStats) }
+
+func (kb *KB) sortedStats(m map[int32]*PredStat) []*PredStat {
+	out := make([]*PredStat, 0, len(m))
+	for _, st := range m {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		return kb.preds[out[i].Pred] < kb.preds[out[j].Pred]
+	})
+	return out
+}
+
+// Builder accumulates triples and produces an immutable KB.
+type Builder struct {
+	name    string
+	triples map[rdf.Triple]struct{}
+	opts    tokenize.Options
+}
+
+// NewBuilder returns a Builder for a KB with the given display name,
+// tokenizing with tokenize.DefaultOptions.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, triples: make(map[rdf.Triple]struct{})}
+}
+
+// SetTokenizeOptions overrides the tokenizer configuration.
+func (b *Builder) SetTokenizeOptions(opts tokenize.Options) { b.opts = opts }
+
+// Add records one triple. Duplicates are ignored. Invalid triples are
+// rejected.
+func (b *Builder) Add(t rdf.Triple) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	b.triples[t] = struct{}{}
+	return nil
+}
+
+// AddAll records a batch of triples, stopping at the first invalid one.
+func (b *Builder) AddAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := b.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of distinct triples recorded so far.
+func (b *Builder) Len() int { return len(b.triples) }
+
+// Build assembles the KB. The builder may be reused afterwards.
+func (b *Builder) Build() (*KB, error) {
+	triples := make([]rdf.Triple, 0, len(b.triples))
+	for t := range b.triples {
+		triples = append(triples, t)
+	}
+	// Deterministic assembly independent of map iteration order.
+	sort.Slice(triples, func(i, j int) bool {
+		a, c := triples[i], triples[j]
+		if a.Subject != c.Subject {
+			return termLess(a.Subject, c.Subject)
+		}
+		if a.Predicate != c.Predicate {
+			return termLess(a.Predicate, c.Predicate)
+		}
+		return termLess(a.Object, c.Object)
+	})
+
+	kb := &KB{
+		name:       b.name,
+		uriIndex:   make(map[string]EntityID),
+		predIndex:  make(map[string]int32),
+		ef:         make(map[string]int32),
+		attrStats:  make(map[int32]*PredStat),
+		relStats:   make(map[int32]*PredStat),
+		typeSet:    make(map[string]struct{}),
+		vocabSet:   make(map[string]struct{}),
+		numTriples: len(triples),
+	}
+
+	// Pass 1: every subject becomes an entity, in sorted order.
+	for _, t := range triples {
+		key := subjectKey(t.Subject)
+		if _, ok := kb.uriIndex[key]; !ok {
+			kb.uriIndex[key] = EntityID(len(kb.entities))
+			kb.entities = append(kb.entities, Entity{URI: key})
+		}
+	}
+
+	// Pass 2: classify objects, fill descriptions.
+	attrSeen := make(map[distinctKey]struct{})
+	relSeen := make(map[distinctKey]struct{})
+	attrEnt := make(map[int32]map[EntityID]struct{})
+	relEnt := make(map[int32]map[EntityID]struct{})
+
+	for _, t := range triples {
+		subj := kb.uriIndex[subjectKey(t.Subject)]
+		pname := t.Predicate.Value
+		kb.vocabSet[namespaceOf(pname)] = struct{}{}
+
+		if pname == RDFType && t.Object.IsIRI() {
+			kb.entities[subj].Types = append(kb.entities[subj].Types, t.Object.Value)
+			kb.typeSet[t.Object.Value] = struct{}{}
+			continue
+		}
+
+		pid := kb.internPred(pname)
+		switch {
+		case t.Object.IsLiteral():
+			kb.addAttr(subj, pid, t.Object.Value, attrSeen, attrEnt, distinctKey{pid, t.Object.Value})
+		default: // IRI or blank object
+			okey := subjectKey(t.Object)
+			if tgt, ok := kb.uriIndex[okey]; ok {
+				// Relation edge within the entity graph.
+				kb.entities[subj].Out = append(kb.entities[subj].Out, Edge{Pred: pid, Target: tgt})
+				kb.entities[tgt].In = append(kb.entities[tgt].In, Edge{Pred: pid, Target: subj})
+				st := kb.statFor(kb.relStats, pid)
+				dk := distinctKey{pid, okey}
+				if _, ok := relSeen[dk]; !ok {
+					relSeen[dk] = struct{}{}
+					st.Distinct++
+				}
+				ents := relEnt[pid]
+				if ents == nil {
+					ents = make(map[EntityID]struct{})
+					relEnt[pid] = ents
+				}
+				ents[subj] = struct{}{}
+			} else {
+				// Dangling URI: treated as an attribute value carrying the
+				// local name as its lexical form (the paper's bag-of-strings
+				// view keeps such evidence).
+				kb.addAttr(subj, pid, localName(t.Object.Value), attrSeen, attrEnt, distinctKey{pid, okey})
+			}
+		}
+	}
+
+	for pid, ents := range attrEnt {
+		kb.attrStats[pid].Entities = len(ents)
+	}
+	for pid, ents := range relEnt {
+		kb.relStats[pid].Entities = len(ents)
+	}
+	// A predicate used with both literal and entity objects keeps both
+	// roles; importance is computed independently per role.
+	n := float64(len(kb.entities))
+	for _, st := range kb.attrStats {
+		st.Importance = importance(st, n)
+	}
+	for _, st := range kb.relStats {
+		st.Importance = importance(st, n)
+	}
+
+	// Pass 3: token bags and entity frequencies.
+	for i := range kb.entities {
+		e := &kb.entities[i]
+		values := make([]string, len(e.Attrs))
+		for j, av := range e.Attrs {
+			values[j] = av.Value
+		}
+		toks := tokenize.Unique(tokenize.TokensOfAll(values, b.opts))
+		sort.Strings(toks)
+		e.Tokens = toks
+		kb.totalTokens += len(toks)
+		for _, tok := range toks {
+			kb.ef[tok]++
+		}
+	}
+	return kb, nil
+}
+
+// distinctKey identifies one (predicate, object) pair for counting the
+// distinct objects of a predicate.
+type distinctKey struct {
+	pred int32
+	obj  string
+}
+
+func (kb *KB) addAttr(subj EntityID, pid int32, value string, seen map[distinctKey]struct{}, perEnt map[int32]map[EntityID]struct{}, dk distinctKey) {
+	kb.entities[subj].Attrs = append(kb.entities[subj].Attrs, AttrValue{Pred: pid, Value: value})
+	st := kb.statFor(kb.attrStats, pid)
+	if _, ok := seen[dk]; !ok {
+		seen[dk] = struct{}{}
+		st.Distinct++
+	}
+	ents := perEnt[pid]
+	if ents == nil {
+		ents = make(map[EntityID]struct{})
+		perEnt[pid] = ents
+	}
+	ents[subj] = struct{}{}
+}
+
+func (kb *KB) statFor(m map[int32]*PredStat, pid int32) *PredStat {
+	st := m[pid]
+	if st == nil {
+		st = &PredStat{Pred: pid}
+		m[pid] = st
+	}
+	return st
+}
+
+func (kb *KB) internPred(name string) int32 {
+	if id, ok := kb.predIndex[name]; ok {
+		return id
+	}
+	id := int32(len(kb.preds))
+	kb.preds = append(kb.preds, name)
+	kb.predIndex[name] = id
+	return id
+}
+
+// importance is the harmonic mean of support and discriminability
+// (paper §III, H1): support = |entities with p| / |E|,
+// discriminability = |distinct objects of p| / |entities with p|.
+func importance(st *PredStat, numEntities float64) float64 {
+	if st.Entities == 0 || numEntities == 0 {
+		return 0
+	}
+	support := float64(st.Entities) / numEntities
+	discr := float64(st.Distinct) / float64(st.Entities)
+	if support+discr == 0 {
+		return 0
+	}
+	return 2 * support * discr / (support + discr)
+}
+
+func subjectKey(t rdf.Term) string {
+	if t.IsBlank() {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+func termLess(a, b rdf.Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	if a.Lang != b.Lang {
+		return a.Lang < b.Lang
+	}
+	return a.Datatype < b.Datatype
+}
+
+// namespaceOf returns the predicate's vocabulary namespace: everything up
+// to and including the last '#' or '/'.
+func namespaceOf(iri string) string {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 {
+		return iri[:i+1]
+	}
+	return iri
+}
+
+// localName returns the fragment of an IRI after the last '#' or '/',
+// used to salvage tokens from dangling URI objects.
+func localName(iri string) string {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// FromTriples is a convenience constructor: builds a KB directly from a
+// triple slice.
+func FromTriples(name string, ts []rdf.Triple) (*KB, error) {
+	b := NewBuilder(name)
+	if err := b.AddAll(ts); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// String summarizes the KB for diagnostics.
+func (kb *KB) String() string {
+	return fmt.Sprintf("KB(%s: %d entities, %d triples, %d attrs, %d rels, %d types)",
+		kb.name, kb.Len(), kb.numTriples, kb.NumAttributes(), kb.NumRelations(), kb.NumTypes())
+}

@@ -1,0 +1,56 @@
+package kb
+
+import (
+	"sort"
+
+	"minoaner/internal/tokenize"
+)
+
+// TopNameAttributes returns the IDs of the k most important attribute
+// predicates of the KB — the attributes whose literal values serve as
+// entity names in H1 (paper §III: "the literal values of the k
+// attributes in every description with the highest importance").
+// Fewer than k attributes may exist; all are returned in importance
+// order then.
+func (kb *KB) TopNameAttributes(k int) []int32 {
+	stats := kb.AttrStats()
+	if k > len(stats) {
+		k = len(stats)
+	}
+	out := make([]int32, 0, k)
+	for _, st := range stats[:k] {
+		out = append(out, st.Pred)
+	}
+	return out
+}
+
+// Names returns the normalized name keys of an entity: the distinct
+// normalized literal values it holds for any of the given name
+// attributes. Empty keys (values with no tokens) are dropped.
+func (kb *KB) Names(id EntityID, nameAttrs []int32) []string {
+	if len(nameAttrs) == 0 {
+		return nil
+	}
+	isName := make(map[int32]bool, len(nameAttrs))
+	for _, p := range nameAttrs {
+		isName[p] = true
+	}
+	var names []string
+	seen := make(map[string]struct{})
+	for _, av := range kb.entities[id].Attrs {
+		if !isName[av.Pred] {
+			continue
+		}
+		key := tokenize.NormalizeKey(av.Value)
+		if key == "" {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		names = append(names, key)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,113 @@
+package kb
+
+import (
+	"reflect"
+	"testing"
+
+	"minoaner/internal/rdf"
+	"minoaner/internal/tokenize"
+)
+
+func TestSetTokenizeOptions(t *testing.T) {
+	b := NewBuilder("opts")
+	b.SetTokenizeOptions(tokenize.Options{MinLength: 3})
+	if err := b.Add(tr("http://e/x", "http://v/p", lit("ab cde fghi"))); err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := kb.Lookup("http://e/x")
+	got := kb.Tokens(x)
+	want := []string{"cde", "fghi"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokens = %v, want %v (MinLength=3)", got, want)
+	}
+}
+
+func TestStopwordOptions(t *testing.T) {
+	b := NewBuilder("stop")
+	b.SetTokenizeOptions(tokenize.Options{Stopwords: map[string]struct{}{"the": {}}})
+	if err := b.Add(tr("http://e/x", "http://v/p", lit("the matrix"))); err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := kb.Lookup("http://e/x")
+	if got := kb.Tokens(x); !reflect.DeepEqual(got, []string{"matrix"}) {
+		t.Errorf("tokens = %v", got)
+	}
+	if kb.EF("the") != 0 {
+		t.Error("stopword entered EF")
+	}
+}
+
+// TestPredicateInBothRoles: a predicate used with literal and entity
+// objects keeps independent attribute and relation statistics.
+func TestPredicateInBothRoles(t *testing.T) {
+	triples := []rdf.Triple{
+		tr("http://e/x", "http://v/ref", lit("plain text")),
+		tr("http://e/x", "http://v/ref", iri("http://e/y")),
+		tr("http://e/y", "http://v/name", lit("target")),
+	}
+	kb, err := FromTriples("both", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, ok := kb.PredID("http://v/ref")
+	if !ok {
+		t.Fatal("ref predicate missing")
+	}
+	if kb.AttrStat(pid) == nil {
+		t.Error("attribute role missing")
+	}
+	if kb.RelStat(pid) == nil {
+		t.Error("relation role missing")
+	}
+	if kb.NumAttributes() != 2 || kb.NumRelations() != 1 {
+		t.Errorf("attrs=%d rels=%d", kb.NumAttributes(), kb.NumRelations())
+	}
+}
+
+// TestSelfLoop: an entity relating to itself is handled without
+// panicking and shows up in both edge directions.
+func TestSelfLoop(t *testing.T) {
+	triples := []rdf.Triple{
+		tr("http://e/x", "http://v/knows", iri("http://e/x")),
+		tr("http://e/x", "http://v/name", lit("loop")),
+	}
+	kb, err := FromTriples("loop", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := kb.Lookup("http://e/x")
+	e := kb.Entity(x)
+	if len(e.Out) != 1 || len(e.In) != 1 || e.Out[0].Target != x {
+		t.Errorf("self loop edges: out=%v in=%v", e.Out, e.In)
+	}
+	if nbrs := kb.TopNeighbors(x, 3); len(nbrs) != 1 || nbrs[0] != x {
+		t.Errorf("self neighbors = %v", nbrs)
+	}
+}
+
+// TestUnicodeURIsAndValues: non-ASCII content survives the pipeline.
+func TestUnicodeContent(t *testing.T) {
+	triples := []rdf.Triple{
+		tr("http://e/αθήνα", "http://v/όνομα", lit("Ακρόπολη Αθηνών")),
+	}
+	kb, err := FromTriples("gr", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := kb.Lookup("http://e/αθήνα")
+	if !ok {
+		t.Fatal("unicode URI lost")
+	}
+	got := kb.Tokens(x)
+	if !reflect.DeepEqual(got, []string{"αθηνών", "ακρόπολη"}) {
+		t.Errorf("tokens = %v", got)
+	}
+}

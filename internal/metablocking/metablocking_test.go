@@ -1,0 +1,295 @@
+package metablocking
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func kbFromValues(t testing.TB, name string, values []string) *kb.KB {
+	t.Helper()
+	var triples []rdf.Triple
+	for i, v := range values {
+		triples = append(triples, rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://%s/e%03d", name, i)),
+			rdf.NewIRI("http://v/name"),
+			rdf.NewLiteral(v),
+		))
+	}
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// fixtureGraph: e0 shares two tokens with f0 (strong pair), one token
+// with f1 (weak pair). e1 shares one token with f1.
+func fixtureGraph(t *testing.T, scheme Scheme) (*Graph, *kb.KB, *kb.KB) {
+	t.Helper()
+	kb1 := kbFromValues(t, "a", []string{"alpha beta", "gamma"})
+	kb2 := kbFromValues(t, "b", []string{"alpha beta", "beta gamma"})
+	c := blocking.TokenBlocks(kb1, kb2)
+	return BuildGraph(c, scheme), kb1, kb2
+}
+
+func TestBuildGraphCBS(t *testing.T) {
+	g, _, _ := fixtureGraph(t, CBS)
+	// Edges: (e0,f0) sharing alpha+beta → 2; (e0,f1) sharing beta → 1;
+	// (e1,f1) sharing gamma → 1.
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges = %d, want 3: %+v", len(g.Edges), g.Edges)
+	}
+	weights := map[eval.Pair]float64{}
+	for _, e := range g.Edges {
+		weights[e.Pair] = e.Weight
+	}
+	if weights[eval.Pair{E1: 0, E2: 0}] != 2 {
+		t.Errorf("CBS(e0,f0) = %f, want 2", weights[eval.Pair{E1: 0, E2: 0}])
+	}
+	if weights[eval.Pair{E1: 0, E2: 1}] != 1 {
+		t.Errorf("CBS(e0,f1) = %f, want 1", weights[eval.Pair{E1: 0, E2: 1}])
+	}
+}
+
+func TestBuildGraphJS(t *testing.T) {
+	g, _, _ := fixtureGraph(t, JS)
+	weights := map[eval.Pair]float64{}
+	for _, e := range g.Edges {
+		weights[e.Pair] = e.Weight
+	}
+	// e0 in blocks {alpha,beta}; f0 in {alpha,beta} → JS = 2/2 = 1.
+	if w := weights[eval.Pair{E1: 0, E2: 0}]; math.Abs(w-1) > 1e-12 {
+		t.Errorf("JS(e0,f0) = %f, want 1", w)
+	}
+	// e0 {alpha,beta}, f1 {beta,gamma}: shared 1 of union 3.
+	if w := weights[eval.Pair{E1: 0, E2: 1}]; math.Abs(w-1.0/3.0) > 1e-12 {
+		t.Errorf("JS(e0,f1) = %f, want 1/3", w)
+	}
+}
+
+func TestBuildGraphARCS(t *testing.T) {
+	g, _, _ := fixtureGraph(t, ARCS)
+	weights := map[eval.Pair]float64{}
+	for _, e := range g.Edges {
+		weights[e.Pair] = e.Weight
+	}
+	// Blocks: alpha (1x1), beta (1x2), gamma (1x1).
+	// ARCS(e0,f0) = 1/1 + 1/2 = 1.5
+	if w := weights[eval.Pair{E1: 0, E2: 0}]; math.Abs(w-1.5) > 1e-12 {
+		t.Errorf("ARCS(e0,f0) = %f, want 1.5", w)
+	}
+	// ARCS(e1,f1) = 1/1 (gamma block) = 1
+	if w := weights[eval.Pair{E1: 1, E2: 1}]; math.Abs(w-1) > 1e-12 {
+		t.Errorf("ARCS(e1,f1) = %f, want 1", w)
+	}
+}
+
+func TestBuildGraphECBSFavorsFocusedEntities(t *testing.T) {
+	g, _, _ := fixtureGraph(t, ECBS)
+	weights := map[eval.Pair]float64{}
+	for _, e := range g.Edges {
+		weights[e.Pair] = e.Weight
+	}
+	// The strong pair must outweigh the weak ones.
+	strong := weights[eval.Pair{E1: 0, E2: 0}]
+	for p, w := range weights {
+		if p == (eval.Pair{E1: 0, E2: 0}) {
+			continue
+		}
+		if w >= strong {
+			t.Errorf("ECBS %v (%f) >= strong pair (%f)", p, w, strong)
+		}
+	}
+}
+
+func TestSchemeAndAlgorithmNames(t *testing.T) {
+	for _, s := range AllSchemes {
+		if s.String() == "Scheme(?)" {
+			t.Errorf("unnamed scheme %d", s)
+		}
+	}
+	for _, a := range AllAlgorithms {
+		if a.String() == "Algorithm(?)" {
+			t.Errorf("unnamed algorithm %d", a)
+		}
+	}
+	if Scheme(99).String() != "Scheme(?)" || Algorithm(99).String() != "Algorithm(?)" {
+		t.Error("unknown names wrong")
+	}
+}
+
+func TestPruneWEP(t *testing.T) {
+	g, _, _ := fixtureGraph(t, CBS)
+	// Mean weight = (2+1+1)/3 = 4/3; only the weight-2 edge survives.
+	kept := g.Prune(WEP)
+	if len(kept) != 1 || kept[0] != (eval.Pair{E1: 0, E2: 0}) {
+		t.Errorf("WEP kept %v", kept)
+	}
+}
+
+func TestPruneCEPKeepsStrongest(t *testing.T) {
+	g, _, _ := fixtureGraph(t, CBS)
+	kept := g.Prune(CEP)
+	if len(kept) == 0 {
+		t.Fatal("CEP kept nothing")
+	}
+	found := false
+	for _, p := range kept {
+		if p == (eval.Pair{E1: 0, E2: 0}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CEP dropped the strongest edge: %v", kept)
+	}
+}
+
+func TestPruneWNPKeepsPerNodeBest(t *testing.T) {
+	g, _, _ := fixtureGraph(t, CBS)
+	kept := g.Prune(WNP)
+	// Every entity keeps at least its best edge, so (e1,f1) must
+	// survive via e1's perspective even though it is globally weak.
+	found := false
+	for _, p := range kept {
+		if p == (eval.Pair{E1: 1, E2: 1}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("WNP dropped e1's only edge: %v", kept)
+	}
+}
+
+func TestPruneCNP(t *testing.T) {
+	g, _, _ := fixtureGraph(t, CBS)
+	kept := g.Prune(CNP)
+	if len(kept) == 0 {
+		t.Fatal("CNP kept nothing")
+	}
+	// Retained pairs must be a subset of the graph's edges.
+	all := map[eval.Pair]bool{}
+	for _, e := range g.Edges {
+		all[e.Pair] = true
+	}
+	for _, p := range kept {
+		if !all[p] {
+			t.Errorf("CNP invented pair %v", p)
+		}
+	}
+}
+
+// TestPruningSubsetAndDeterminism: every algorithm returns a sorted
+// subset of the graph edges, deterministically.
+func TestPruningSubsetAndDeterminism(t *testing.T) {
+	ds, err := datagen.Restaurant(datagen.Options{Seed: 5, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	for _, scheme := range AllSchemes {
+		g := BuildGraph(c, scheme)
+		all := map[eval.Pair]bool{}
+		for _, e := range g.Edges {
+			all[e.Pair] = true
+		}
+		for _, algo := range AllAlgorithms {
+			kept1 := g.Prune(algo)
+			kept2 := g.Prune(algo)
+			if len(kept1) != len(kept2) {
+				t.Fatalf("%v/%v nondeterministic", scheme, algo)
+			}
+			for i, p := range kept1 {
+				if p != kept2[i] {
+					t.Fatalf("%v/%v nondeterministic at %d", scheme, algo, i)
+				}
+				if !all[p] {
+					t.Fatalf("%v/%v retained non-edge %v", scheme, algo, p)
+				}
+				if i > 0 && !lessPair(kept1[i-1], p) {
+					t.Fatalf("%v/%v output not sorted", scheme, algo)
+				}
+			}
+		}
+	}
+}
+
+func lessPair(a, b eval.Pair) bool {
+	if a.E1 != b.E1 {
+		return a.E1 < b.E1
+	}
+	return a.E2 < b.E2
+}
+
+// TestMetaBlockingReducesComparisons: on a realistic dataset,
+// meta-blocking with ARCS/WNP keeps high recall with far fewer
+// comparisons than the raw blocks — the headline claim of [6].
+func TestMetaBlockingReducesComparisons(t *testing.T) {
+	ds, err := datagen.Bibliography(datagen.Options{Seed: 5, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	g := BuildGraph(c, ARCS)
+	raw := len(g.Edges)
+	kept := g.Prune(WNP)
+	st := ComputeStats(kept, ds.GT)
+	if len(kept) >= raw {
+		t.Errorf("WNP kept %d of %d edges — no reduction", len(kept), raw)
+	}
+	if st.Recall < 0.9 {
+		t.Errorf("WNP recall = %.3f, want >= 0.9", st.Recall)
+	}
+	rawStats := ComputeStats(pairsOf(g), ds.GT)
+	if st.Precision <= rawStats.Precision {
+		t.Errorf("pruning did not improve precision: %.5f vs %.5f", st.Precision, rawStats.Precision)
+	}
+}
+
+func pairsOf(g *Graph) []eval.Pair {
+	out := make([]eval.Pair, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = e.Pair
+	}
+	return out
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	gt := eval.NewGroundTruth()
+	st := ComputeStats(nil, gt)
+	if st.Comparisons != 0 || st.Recall != 0 || st.Precision != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	c := blocking.NewCollection(0, 0)
+	g := BuildGraph(c, ARCS)
+	if len(g.Edges) != 0 {
+		t.Error("edges on empty collection")
+	}
+	for _, algo := range AllAlgorithms {
+		if got := g.Prune(algo); len(got) != 0 {
+			t.Errorf("%v returned %v on empty graph", algo, got)
+		}
+	}
+}
+
+func BenchmarkBuildGraphARCS(b *testing.B) {
+	ds, err := datagen.Restaurant(datagen.Options{Seed: 5, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(c, ARCS)
+	}
+}

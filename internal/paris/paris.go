@@ -1,0 +1,374 @@
+// Package paris approximates PARIS (Suchanek et al., PVLDB 2011), the
+// probabilistic baseline of the paper's evaluation: entity equivalences
+// are seeded by *exact* shared literal values weighted by the inverse
+// functionality of their attributes, then refined over a fixed number
+// of rounds in which aligned relations propagate the probabilities of
+// neighboring matches.
+//
+// The approximation keeps PARIS's two defining traits — dependence on
+// exact literal overlap and on relation functionality — which is
+// precisely what makes it strong on homogeneous KBs and fragile on
+// structurally heterogeneous ones (paper §IV, BBCmusic-DBpedia).
+package paris
+
+import (
+	"sort"
+
+	"minoaner/internal/cluster"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/tokenize"
+)
+
+// Config tunes the PARIS approximation.
+type Config struct {
+	// Iterations is the number of propagation rounds (PARIS converges
+	// within a handful).
+	Iterations int
+	// Threshold is the final acceptance probability.
+	Threshold float64
+	// PropagationThreshold gates which pairs act as evidence for their
+	// neighbors.
+	PropagationThreshold float64
+	// MaxValueFanout skips literal values shared by more entities than
+	// this (PARIS similarly ignores non-identifying values).
+	MaxValueFanout int
+}
+
+// DefaultConfig mirrors the usual PARIS settings.
+func DefaultConfig() Config {
+	return Config{
+		Iterations:           5,
+		Threshold:            0.5,
+		PropagationThreshold: 0.6,
+		MaxValueFanout:       50,
+	}
+}
+
+// Run executes the approximation and returns the accepted matches.
+func Run(kb1, kb2 *kb.KB, cfg Config) []eval.Pair {
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+	st := newState(kb1, kb2, cfg)
+	st.seedFromLiterals()
+	for it := 0; it < cfg.Iterations; it++ {
+		st.alignRelations()
+		st.propagate()
+	}
+	return st.finalMatches()
+}
+
+type state struct {
+	kb1, kb2 *kb.KB
+	cfg      Config
+
+	ifun1, ifun2 map[int32]float64 // inverse functionality per attribute
+	fun1, fun2   map[int32]float64 // functionality per relation
+	rifun1       map[int32]float64 // inverse functionality per relation (KB1)
+
+	seed map[eval.Pair]float64 // literal-evidence probability (fixed)
+	prob map[eval.Pair]float64 // current probability
+
+	align map[[2]int32]float64 // relation alignment (r1, r2) -> weight
+}
+
+func newState(kb1, kb2 *kb.KB, cfg Config) *state {
+	return &state{
+		kb1: kb1, kb2: kb2, cfg: cfg,
+		ifun1:  inverseFunctionality(kb1),
+		ifun2:  inverseFunctionality(kb2),
+		fun1:   relationFunctionality(kb1),
+		fun2:   relationFunctionality(kb2),
+		rifun1: relationInverseFunctionality(kb1),
+		seed:   make(map[eval.Pair]float64),
+		prob:   make(map[eval.Pair]float64),
+		align:  make(map[[2]int32]float64),
+	}
+}
+
+// inverseFunctionality estimates, per attribute, how strongly one of
+// its values identifies its subject: distinct values / value
+// occurrences. A name-like attribute scores ~1; a category-like
+// attribute scores ~0.
+func inverseFunctionality(k *kb.KB) map[int32]float64 {
+	occurrences := make(map[int32]int)
+	for i := 0; i < k.Len(); i++ {
+		for _, av := range k.Entity(kb.EntityID(i)).Attrs {
+			occurrences[av.Pred]++
+		}
+	}
+	out := make(map[int32]float64, len(occurrences))
+	for pred, occ := range occurrences {
+		st := k.AttrStat(pred)
+		if st == nil || occ == 0 {
+			continue
+		}
+		out[pred] = float64(st.Distinct) / float64(occ)
+	}
+	return out
+}
+
+// relationFunctionality estimates fun(r) = distinct subjects / edges.
+func relationFunctionality(k *kb.KB) map[int32]float64 {
+	edges := make(map[int32]int)
+	subjects := make(map[int32]map[kb.EntityID]struct{})
+	for i := 0; i < k.Len(); i++ {
+		for _, e := range k.Entity(kb.EntityID(i)).Out {
+			edges[e.Pred]++
+			set := subjects[e.Pred]
+			if set == nil {
+				set = make(map[kb.EntityID]struct{})
+				subjects[e.Pred] = set
+			}
+			set[kb.EntityID(i)] = struct{}{}
+		}
+	}
+	out := make(map[int32]float64, len(edges))
+	for pred, n := range edges {
+		if n == 0 {
+			continue
+		}
+		out[pred] = float64(len(subjects[pred])) / float64(n)
+	}
+	return out
+}
+
+// relationInverseFunctionality estimates fun⁻(r) = distinct objects /
+// edges: how strongly an object determines its subject. A birthplace
+// shared by many people has low fun⁻ — knowing two people share it is
+// weak evidence they match.
+func relationInverseFunctionality(k *kb.KB) map[int32]float64 {
+	edges := make(map[int32]int)
+	objects := make(map[int32]map[kb.EntityID]struct{})
+	for i := 0; i < k.Len(); i++ {
+		for _, e := range k.Entity(kb.EntityID(i)).Out {
+			edges[e.Pred]++
+			set := objects[e.Pred]
+			if set == nil {
+				set = make(map[kb.EntityID]struct{})
+				objects[e.Pred] = set
+			}
+			set[e.Target] = struct{}{}
+		}
+	}
+	out := make(map[int32]float64, len(edges))
+	for pred, n := range edges {
+		if n == 0 {
+			continue
+		}
+		out[pred] = float64(len(objects[pred])) / float64(n)
+	}
+	return out
+}
+
+// literalIndex maps each normalized literal value to the entities (and
+// holding attributes) carrying it.
+type literalOcc struct {
+	ent  kb.EntityID
+	pred int32
+}
+
+func literalIndex(k *kb.KB) map[string][]literalOcc {
+	idx := make(map[string][]literalOcc)
+	for i := 0; i < k.Len(); i++ {
+		id := kb.EntityID(i)
+		for _, av := range k.Entity(id).Attrs {
+			key := tokenize.NormalizeKey(av.Value)
+			if key == "" {
+				continue
+			}
+			idx[key] = append(idx[key], literalOcc{ent: id, pred: av.Pred})
+		}
+	}
+	return idx
+}
+
+// seedFromLiterals computes the literal-evidence probabilities:
+//
+//	P0(x≡y) = 1 - Π_{shared value v} (1 - ifun(a_x) · ifun(a_y))
+//
+// over exactly shared (normalized) literal values.
+func (s *state) seedFromLiterals() {
+	idx1 := literalIndex(s.kb1)
+	idx2 := literalIndex(s.kb2)
+	notP := make(map[eval.Pair]float64)
+	for v, occ1 := range idx1 {
+		occ2, ok := idx2[v]
+		if !ok {
+			continue
+		}
+		if len(occ1)*len(occ2) > s.cfg.MaxValueFanout*s.cfg.MaxValueFanout {
+			continue
+		}
+		for _, o1 := range occ1 {
+			for _, o2 := range occ2 {
+				p := s.ifun1[o1.pred] * s.ifun2[o2.pred]
+				if p <= 0 {
+					continue
+				}
+				if p > 0.999999 {
+					p = 0.999999
+				}
+				key := eval.Pair{E1: o1.ent, E2: o2.ent}
+				cur, seen := notP[key]
+				if !seen {
+					cur = 1
+				}
+				notP[key] = cur * (1 - p)
+			}
+		}
+	}
+	for pair, np := range notP {
+		s.seed[pair] = 1 - np
+		s.prob[pair] = 1 - np
+	}
+}
+
+// currentAssignment extracts a greedy 1-1 mapping from the current
+// probabilities, used both for relation alignment and for propagation.
+func (s *state) currentAssignment(threshold float64) map[kb.EntityID]kb.EntityID {
+	pairs := make([]cluster.ScoredPair, 0, len(s.prob))
+	for p, pr := range s.prob {
+		if pr >= threshold {
+			pairs = append(pairs, cluster.ScoredPair{E1: p.E1, E2: p.E2, Score: pr})
+		}
+	}
+	assign := make(map[kb.EntityID]kb.EntityID)
+	for _, p := range cluster.UniqueMapping(pairs, threshold) {
+		assign[p.E1] = p.E2
+	}
+	return assign
+}
+
+// alignRelations scores relation pairs by how often they connect
+// matched pairs to matched pairs: align(r1,r2) = overlap / r1-edges
+// whose endpoints are both matched.
+func (s *state) alignRelations() {
+	assign := s.currentAssignment(s.cfg.PropagationThreshold)
+	if len(assign) == 0 {
+		return
+	}
+	overlap := make(map[[2]int32]int)
+	r1Total := make(map[int32]int)
+	for x, y := range assign {
+		yEnt := s.kb2.Entity(y)
+		// Index y's out-edges by target for the overlap test.
+		yOut := make(map[kb.EntityID][]int32)
+		for _, e := range yEnt.Out {
+			yOut[e.Target] = append(yOut[e.Target], e.Pred)
+		}
+		for _, e := range s.kb1.Entity(x).Out {
+			xTgtMatch, ok := assign[e.Target]
+			if !ok {
+				continue
+			}
+			r1Total[e.Pred]++
+			for _, r2 := range yOut[xTgtMatch] {
+				overlap[[2]int32{e.Pred, r2}]++
+			}
+		}
+	}
+	s.align = make(map[[2]int32]float64, len(overlap))
+	for rr, n := range overlap {
+		if total := r1Total[rr[0]]; total > 0 {
+			s.align[rr] = float64(n) / float64(total)
+		}
+	}
+}
+
+// propagate recomputes every candidate's probability from its fixed
+// literal evidence plus the relation evidence of currently confident
+// neighbor matches:
+//
+//	P(x≡y) = 1 - (1-P0(x≡y)) · Π (1 - align(r1,r2)·fun(r1)·P(x'≡y'))
+func (s *state) propagate() {
+	if len(s.align) == 0 {
+		return
+	}
+	assign := s.currentAssignment(s.cfg.PropagationThreshold)
+	next := make(map[eval.Pair]float64, len(s.prob))
+
+	// Start every candidate from its literal evidence.
+	notP := make(map[eval.Pair]float64, len(s.prob))
+	bump := func(pair eval.Pair, w float64) {
+		cur, seen := notP[pair]
+		if !seen {
+			cur = 1 - s.seed[pair] // 1 if no literal evidence
+		}
+		notP[pair] = cur * (1 - w)
+	}
+
+	// Parents of matched pairs receive evidence: r1(x,x'), r2(y,y'),
+	// (x',y') matched. The object determines the subject only to the
+	// degree the relation is inverse-functional.
+	for xPrime, yPrime := range assign {
+		p := s.prob[eval.Pair{E1: xPrime, E2: yPrime}]
+		if p <= 0 {
+			continue
+		}
+		for _, e1 := range s.kb1.Entity(xPrime).In {
+			for _, e2 := range s.kb2.Entity(yPrime).In {
+				a := s.align[[2]int32{e1.Pred, e2.Pred}]
+				if a <= 0 {
+					continue
+				}
+				w := a * s.rifun1[e1.Pred] * p
+				if w <= 0 {
+					continue
+				}
+				if w > 0.999999 {
+					w = 0.999999
+				}
+				bump(eval.Pair{E1: e1.Target, E2: e2.Target}, w)
+			}
+		}
+		// Children: r1(x',x''), r2(y',y''). The subject determines the
+		// object to the degree the relation is functional.
+		for _, e1 := range s.kb1.Entity(xPrime).Out {
+			for _, e2 := range s.kb2.Entity(yPrime).Out {
+				a := s.align[[2]int32{e1.Pred, e2.Pred}]
+				if a <= 0 {
+					continue
+				}
+				w := a * s.fun1[e1.Pred] * p
+				if w <= 0 {
+					continue
+				}
+				if w > 0.999999 {
+					w = 0.999999
+				}
+				bump(eval.Pair{E1: e1.Target, E2: e2.Target}, w)
+			}
+		}
+	}
+
+	for pair, np := range notP {
+		next[pair] = 1 - np
+	}
+	// Candidates with literal evidence but no neighbor evidence keep
+	// their seed probability.
+	for pair, p0 := range s.seed {
+		if _, ok := next[pair]; !ok {
+			next[pair] = p0
+		}
+	}
+	s.prob = next
+}
+
+// finalMatches extracts the 1-1 mapping of pairs above the acceptance
+// threshold.
+func (s *state) finalMatches() []eval.Pair {
+	pairs := make([]cluster.ScoredPair, 0, len(s.prob))
+	for p, pr := range s.prob {
+		pairs = append(pairs, cluster.ScoredPair{E1: p.E1, E2: p.E2, Score: pr})
+	}
+	out := cluster.UniqueMapping(pairs, s.cfg.Threshold)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}

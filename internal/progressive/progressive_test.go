@@ -1,0 +1,110 @@
+package progressive
+
+import (
+	"math/rand"
+	"testing"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/metablocking"
+)
+
+func bibliographySetup(t testing.TB) (*blocking.Collection, *eval.GroundTruth) {
+	t.Helper()
+	ds, err := datagen.Bibliography(datagen.Options{Seed: 3, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	c, _ = blocking.Purge(c, blocking.DefaultPurgeConfig())
+	return c, ds.GT
+}
+
+func TestScheduleOrderedAndComplete(t *testing.T) {
+	c, _ := bibliographySetup(t)
+	sched := Schedule(c, metablocking.ARCS)
+	if len(sched) == 0 {
+		t.Fatal("empty schedule")
+	}
+	seen := make(map[eval.Pair]bool, len(sched))
+	for _, p := range sched {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v in schedule", p)
+		}
+		seen[p] = true
+	}
+	// Same distinct pairs as the blocks themselves suggest.
+	st := blocking.ComputeStats(c, eval.NewGroundTruth())
+	if int64(len(sched)) != st.DistinctComparisons {
+		t.Errorf("schedule has %d pairs, blocks suggest %d", len(sched), st.DistinctComparisons)
+	}
+}
+
+func TestProgressiveBeatsRandom(t *testing.T) {
+	c, gt := bibliographySetup(t)
+	sched := Schedule(c, metablocking.ARCS)
+	aucARCS := AUC(sched, gt)
+
+	random := make([]eval.Pair, len(sched))
+	copy(random, sched)
+	rand.New(rand.NewSource(1)).Shuffle(len(random), func(i, j int) {
+		random[i], random[j] = random[j], random[i]
+	})
+	aucRandom := AUC(random, gt)
+
+	if aucARCS <= aucRandom {
+		t.Errorf("ARCS scheduling (AUC %.3f) does not beat random (%.3f)", aucARCS, aucRandom)
+	}
+	// The headline property: most matches within the first 10% of
+	// comparisons.
+	early := RecallAt(sched, gt, len(sched)/10)
+	if early < 0.5 {
+		t.Errorf("recall@10%% = %.3f, want >= 0.5", early)
+	}
+}
+
+func TestRecallAtMonotone(t *testing.T) {
+	c, gt := bibliographySetup(t)
+	sched := Schedule(c, metablocking.ARCS)
+	prev := 0.0
+	for _, frac := range []int{10, 4, 2, 1} {
+		r := RecallAt(sched, gt, len(sched)/frac)
+		if r < prev {
+			t.Fatalf("recall not monotone: %.3f after %.3f", r, prev)
+		}
+		prev = r
+	}
+	if full := RecallAt(sched, gt, len(sched)); full < 0.99 {
+		t.Errorf("full-schedule recall = %.3f (blocking recall should carry over)", full)
+	}
+	// k beyond schedule length is clamped.
+	if RecallAt(sched, gt, len(sched)*2) != prev {
+		t.Error("over-budget recall differs from full recall")
+	}
+}
+
+func TestCurveMatchesRecallAt(t *testing.T) {
+	c, gt := bibliographySetup(t)
+	sched := Schedule(c, metablocking.ARCS)
+	budgets := []int{1, len(sched) / 10, len(sched) / 2, len(sched)}
+	curve := Curve(sched, gt, budgets)
+	for i, b := range budgets {
+		if want := RecallAt(sched, gt, b); curve[i] != want {
+			t.Errorf("curve[%d] = %f, RecallAt(%d) = %f", i, curve[i], b, want)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	gt := eval.NewGroundTruth()
+	if AUC(nil, gt) != 0 {
+		t.Error("AUC on empty inputs")
+	}
+	if RecallAt(nil, gt, 5) != 0 {
+		t.Error("RecallAt on empty inputs")
+	}
+	if got := Curve(nil, gt, []int{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Error("Curve on empty inputs")
+	}
+}

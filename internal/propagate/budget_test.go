@@ -1,0 +1,53 @@
+package propagate
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+// starKBs: one hub with many children per KB; the seed matches the
+// hubs.
+func starKBs(t testing.TB, fanout int) (*kb.KB, *kb.KB) {
+	t.Helper()
+	var t1, t2 []rdf.Triple
+	t1 = append(t1, tr("http://a/hub", "http://va/name", lit("the hub")))
+	t2 = append(t2, tr("http://b/hub", "http://vb/name", lit("the hub")))
+	for i := 0; i < fanout; i++ {
+		c1 := fmt.Sprintf("http://a/c%03d", i)
+		c2 := fmt.Sprintf("http://b/c%03d", i)
+		t1 = append(t1, tr("http://a/hub", "http://va/has", iri(c1)))
+		t2 = append(t2, tr("http://b/hub", "http://vb/has", iri(c2)))
+		name := fmt.Sprintf("child %03d", i)
+		t1 = append(t1, tr(c1, "http://va/name", lit(name)))
+		t2 = append(t2, tr(c2, "http://vb/name", lit(name)))
+	}
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+// TestMaxNeighborPairsBudget: with a tiny expansion budget, a hub's
+// huge cross product cannot flood the queue.
+func TestMaxNeighborPairsBudget(t *testing.T) {
+	kb1, kb2 := starKBs(t, 20)
+	h1, _ := kb1.Lookup("http://a/hub")
+	h2, _ := kb2.Lookup("http://b/hub")
+	seeds := []eval.Pair{{E1: h1, E2: h2}}
+	vs := func(e1, e2 kb.EntityID) float64 { return 0 }
+	cfg := Config{Alpha: 1, Threshold: 0.3, MaxNeighborPairs: 5}
+	got := Run(kb1, kb2, seeds, vs, &allCompat{}, cfg)
+	// Budget 5: at most 5 candidate pairs pushed beyond the seed, so at
+	// most 6 matches total.
+	if len(got) > 6 {
+		t.Errorf("budget exceeded: %d matches", len(got))
+	}
+	// With a generous budget everything matches (children pair via
+	// graph score 1).
+	cfg.MaxNeighborPairs = 1000
+	got = Run(kb1, kb2, seeds, vs, &allCompat{}, cfg)
+	if len(got) < 10 {
+		t.Errorf("generous budget matched only %d", len(got))
+	}
+}

@@ -1,0 +1,308 @@
+// Package propagate implements the greedy seed-and-propagate matching
+// engine shared by the SiGMa and LINDA baselines: starting from seed
+// matches, candidate pairs adjacent to accepted matches enter a
+// priority queue scored by a weighted combination of value similarity
+// and relational agreement; the best pair is accepted if both entities
+// are free and the score reaches a threshold, and its neighborhood is
+// expanded in turn. The two baselines differ only in how relation
+// compatibility is judged (learned from matches for SiGMa, from
+// relation-label similarity for LINDA).
+package propagate
+
+import (
+	"container/heap"
+	"sort"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// Compat judges whether an edge labelled r1 in KB1 and an edge labelled
+// r2 in KB2 count as the same relation.
+type Compat interface {
+	// Weight returns the compatibility of the relation pair in [0,1].
+	Weight(r1, r2 int32) float64
+	// Learn observes that a matched pair is connected to another
+	// matched pair via (r1, r2).
+	Learn(r1, r2 int32)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Alpha is the weight of the relational score; 1-Alpha weighs the
+	// value similarity.
+	Alpha float64
+	// Threshold is the minimum combined score for acceptance.
+	Threshold float64
+	// MaxNeighborPairs caps the candidate pairs generated per accepted
+	// match, guarding against hub explosions.
+	MaxNeighborPairs int
+}
+
+// DefaultConfig mirrors the SiGMa paper's ballpark settings: relational
+// agreement weighs as much as value similarity, and acceptance requires
+// either strong values or corroborating graph structure.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.5, Threshold: 0.3, MaxNeighborPairs: 400}
+}
+
+// ValueSim scores the value similarity of a cross-KB pair in [0,1].
+type ValueSim func(e1, e2 kb.EntityID) float64
+
+// Run executes the propagation from the given seeds. Seeds are trusted
+// (accepted unconditionally, first-come first-served on conflicts).
+func Run(kb1, kb2 *kb.KB, seeds []eval.Pair, vs ValueSim, compat Compat, cfg Config) []eval.Pair {
+	e := &engine{
+		kb1: kb1, kb2: kb2, vs: vs, compat: compat, cfg: cfg,
+		matched1: make(map[kb.EntityID]kb.EntityID),
+		matched2: make(map[kb.EntityID]kb.EntityID),
+	}
+	for _, s := range seeds {
+		e.accept(s, true)
+	}
+	e.drain()
+	return e.result()
+}
+
+type candidate struct {
+	pair  eval.Pair
+	score float64
+	index int
+}
+
+type candHeap []*candidate
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	if h[i].pair.E1 != h[j].pair.E1 {
+		return h[i].pair.E1 < h[j].pair.E1
+	}
+	return h[i].pair.E2 < h[j].pair.E2
+}
+func (h candHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *candHeap) Push(x any) {
+	c := x.(*candidate)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+type engine struct {
+	kb1, kb2 *kb.KB
+	vs       ValueSim
+	compat   Compat
+	cfg      Config
+
+	matched1 map[kb.EntityID]kb.EntityID
+	matched2 map[kb.EntityID]kb.EntityID
+	order    []eval.Pair
+
+	queue  candHeap
+	queued map[eval.Pair]*candidate
+}
+
+// accept records a match, lets the compatibility model learn from its
+// edges, and enqueues the neighborhood.
+func (e *engine) accept(p eval.Pair, seed bool) {
+	if _, taken := e.matched1[p.E1]; taken {
+		return
+	}
+	if _, taken := e.matched2[p.E2]; taken {
+		return
+	}
+	e.matched1[p.E1] = p.E2
+	e.matched2[p.E2] = p.E1
+	e.order = append(e.order, p)
+	e.learnFrom(p)
+	e.expand(p)
+	_ = seed
+}
+
+// learnFrom teaches the compatibility model every relation pair that
+// connects this match to an existing match.
+func (e *engine) learnFrom(p eval.Pair) {
+	x := e.kb1.Entity(p.E1)
+	y := e.kb2.Entity(p.E2)
+	for _, e1 := range x.Out {
+		tgt2, ok := e.matched1[e1.Target]
+		if !ok {
+			continue
+		}
+		for _, e2 := range y.Out {
+			if e2.Target == tgt2 {
+				e.compat.Learn(e1.Pred, e2.Pred)
+			}
+		}
+	}
+	for _, e1 := range x.In {
+		src2, ok := e.matched1[e1.Target]
+		if !ok {
+			continue
+		}
+		for _, e2 := range y.In {
+			if e2.Target == src2 {
+				e.compat.Learn(e1.Pred, e2.Pred)
+			}
+		}
+	}
+}
+
+// expand pushes the cross product of the match's unmatched neighbors
+// into the queue (capped).
+func (e *engine) expand(p eval.Pair) {
+	x := e.kb1.Entity(p.E1)
+	y := e.kb2.Entity(p.E2)
+	budget := e.cfg.MaxNeighborPairs
+	push := func(n1, n2 kb.EntityID) {
+		if budget <= 0 {
+			return
+		}
+		if _, t := e.matched1[n1]; t {
+			return
+		}
+		if _, t := e.matched2[n2]; t {
+			return
+		}
+		budget--
+		e.enqueue(eval.Pair{E1: n1, E2: n2})
+	}
+	for _, e1 := range x.Out {
+		for _, e2 := range y.Out {
+			push(e1.Target, e2.Target)
+		}
+	}
+	for _, e1 := range x.In {
+		for _, e2 := range y.In {
+			push(e1.Target, e2.Target)
+		}
+	}
+}
+
+func (e *engine) enqueue(p eval.Pair) {
+	score := e.score(p)
+	if score < e.cfg.Threshold {
+		return
+	}
+	if e.queued == nil {
+		e.queued = make(map[eval.Pair]*candidate)
+	}
+	if c, ok := e.queued[p]; ok {
+		if score > c.score {
+			c.score = score
+			heap.Fix(&e.queue, c.index)
+		}
+		return
+	}
+	c := &candidate{pair: p, score: score}
+	e.queued[p] = c
+	heap.Push(&e.queue, c)
+}
+
+// score combines value similarity with relational agreement: the
+// fraction of the pair's edges that lead to compatible matched
+// neighbors.
+func (e *engine) score(p eval.Pair) float64 {
+	v := e.vs(p.E1, p.E2)
+	g := e.graphScore(p)
+	return (1-e.cfg.Alpha)*v + e.cfg.Alpha*g
+}
+
+func (e *engine) graphScore(p eval.Pair) float64 {
+	x := e.kb1.Entity(p.E1)
+	y := e.kb2.Entity(p.E2)
+	deg := len(x.Out) + len(x.In)
+	if d2 := len(y.Out) + len(y.In); d2 > deg {
+		deg = d2
+	}
+	if deg == 0 {
+		return 0
+	}
+	var agree float64
+	for _, e1 := range x.Out {
+		tgt2, ok := e.matched1[e1.Target]
+		if !ok {
+			continue
+		}
+		best := 0.0
+		for _, e2 := range y.Out {
+			if e2.Target != tgt2 {
+				continue
+			}
+			if w := e.compat.Weight(e1.Pred, e2.Pred); w > best {
+				best = w
+			}
+		}
+		agree += best
+	}
+	for _, e1 := range x.In {
+		src2, ok := e.matched1[e1.Target]
+		if !ok {
+			continue
+		}
+		best := 0.0
+		for _, e2 := range y.In {
+			if e2.Target != src2 {
+				continue
+			}
+			if w := e.compat.Weight(e1.Pred, e2.Pred); w > best {
+				best = w
+			}
+		}
+		agree += best
+	}
+	return agree / float64(deg)
+}
+
+// drain pops candidates until the queue empties, rescoring lazily: a
+// stale top is refreshed and pushed back rather than trusted.
+func (e *engine) drain() {
+	for e.queue.Len() > 0 {
+		c := heap.Pop(&e.queue).(*candidate)
+		delete(e.queued, c.pair)
+		if _, t := e.matched1[c.pair.E1]; t {
+			continue
+		}
+		if _, t := e.matched2[c.pair.E2]; t {
+			continue
+		}
+		current := e.score(c.pair)
+		if current < e.cfg.Threshold {
+			continue
+		}
+		// If the refreshed score fell behind the next candidate,
+		// re-queue and reconsider.
+		if e.queue.Len() > 0 && current < e.queue[0].score {
+			c.score = current
+			e.queued[c.pair] = c
+			heap.Push(&e.queue, c)
+			continue
+		}
+		e.accept(c.pair, false)
+	}
+}
+
+func (e *engine) result() []eval.Pair {
+	out := make([]eval.Pair, len(e.order))
+	copy(out, e.order)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}

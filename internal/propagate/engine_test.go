@@ -1,0 +1,124 @@
+package propagate
+
+import (
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func iri(s string) rdf.Term                 { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term                 { return rdf.NewLiteral(s) }
+func tr(s, p string, o rdf.Term) rdf.Triple { return rdf.NewTriple(iri(s), iri(p), o) }
+
+func mustKB(t testing.TB, name string, triples []rdf.Triple) *kb.KB {
+	t.Helper()
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// allCompat treats every relation pair as fully compatible.
+type allCompat struct{ learned int }
+
+func (c *allCompat) Weight(r1, r2 int32) float64 { return 1 }
+func (c *allCompat) Learn(r1, r2 int32)          { c.learned++ }
+
+// chainKBs builds parallel chains x0 -> x1 -> x2 in both KBs. Node 0
+// carries identical values; later nodes have none.
+func chainKBs(t testing.TB) (*kb.KB, *kb.KB) {
+	var t1, t2 []rdf.Triple
+	for i := 0; i < 2; i++ {
+		t1 = append(t1, tr(nodeURI("a", i), "http://va/next", iri(nodeURI("a", i+1))))
+		t2 = append(t2, tr(nodeURI("b", i), "http://vb/next", iri(nodeURI("b", i+1))))
+	}
+	t1 = append(t1, tr(nodeURI("a", 0), "http://va/name", lit("shared root name")))
+	t2 = append(t2, tr(nodeURI("b", 0), "http://vb/name", lit("shared root name")))
+	for i := 1; i <= 2; i++ {
+		t1 = append(t1, tr(nodeURI("a", i), "http://va/name", lit("alpha")))
+		t2 = append(t2, tr(nodeURI("b", i), "http://vb/name", lit("beta")))
+	}
+	return mustKB(t, "a", t1), mustKB(t, "b", t2)
+}
+
+func nodeURI(kbName string, i int) string {
+	return "http://" + kbName + "/n" + string(rune('0'+i))
+}
+
+func TestRunPropagatesAlongChain(t *testing.T) {
+	kb1, kb2 := chainKBs(t)
+	r1, _ := kb1.Lookup(nodeURI("a", 0))
+	r2, _ := kb2.Lookup(nodeURI("b", 0))
+	seeds := []eval.Pair{{E1: r1, E2: r2}}
+	vs := func(e1, e2 kb.EntityID) float64 { return 0 } // graph evidence only
+	cfg := Config{Alpha: 1.0, Threshold: 0.3, MaxNeighborPairs: 100}
+	got := Run(kb1, kb2, seeds, vs, &allCompat{}, cfg)
+	if len(got) != 3 {
+		t.Fatalf("matched %d nodes, want full chain of 3: %v", len(got), got)
+	}
+	for i := 0; i <= 2; i++ {
+		e1, _ := kb1.Lookup(nodeURI("a", i))
+		e2, _ := kb2.Lookup(nodeURI("b", i))
+		found := false
+		for _, p := range got {
+			if p == (eval.Pair{E1: e1, E2: e2}) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("chain node %d unmatched", i)
+		}
+	}
+}
+
+func TestRunThresholdBlocks(t *testing.T) {
+	kb1, kb2 := chainKBs(t)
+	r1, _ := kb1.Lookup(nodeURI("a", 0))
+	r2, _ := kb2.Lookup(nodeURI("b", 0))
+	seeds := []eval.Pair{{E1: r1, E2: r2}}
+	vs := func(e1, e2 kb.EntityID) float64 { return 0 }
+	// Threshold above the achievable graph score: nothing propagates.
+	cfg := Config{Alpha: 0.3, Threshold: 0.9, MaxNeighborPairs: 100}
+	got := Run(kb1, kb2, seeds, vs, &allCompat{}, cfg)
+	if len(got) != 1 {
+		t.Fatalf("got %v, want seeds only", got)
+	}
+}
+
+func TestRunConflictingSeeds(t *testing.T) {
+	kb1, kb2 := chainKBs(t)
+	r1, _ := kb1.Lookup(nodeURI("a", 0))
+	r2, _ := kb2.Lookup(nodeURI("b", 0))
+	o1, _ := kb1.Lookup(nodeURI("a", 1))
+	seeds := []eval.Pair{{E1: r1, E2: r2}, {E1: o1, E2: r2}} // second conflicts on E2
+	vs := func(e1, e2 kb.EntityID) float64 { return 0 }
+	cfg := Config{Alpha: 1.0, Threshold: 0.99, MaxNeighborPairs: 0}
+	got := Run(kb1, kb2, seeds, vs, &allCompat{}, cfg)
+	if len(got) != 1 || got[0] != (eval.Pair{E1: r1, E2: r2}) {
+		t.Fatalf("conflicting seed accepted: %v", got)
+	}
+}
+
+func TestRunLearnsCompat(t *testing.T) {
+	kb1, kb2 := chainKBs(t)
+	r1, _ := kb1.Lookup(nodeURI("a", 0))
+	r2, _ := kb2.Lookup(nodeURI("b", 0))
+	c := &allCompat{}
+	vs := func(e1, e2 kb.EntityID) float64 { return 0 }
+	Run(kb1, kb2, []eval.Pair{{E1: r1, E2: r2}}, vs, c, Config{Alpha: 1, Threshold: 0.3, MaxNeighborPairs: 10})
+	if c.learned == 0 {
+		t.Error("compat never learned from accepted matches")
+	}
+}
+
+func TestRunEmptySeeds(t *testing.T) {
+	kb1, kb2 := chainKBs(t)
+	vs := func(e1, e2 kb.EntityID) float64 { return 1 }
+	got := Run(kb1, kb2, nil, vs, &allCompat{}, DefaultConfig())
+	if len(got) != 0 {
+		t.Errorf("matches without seeds: %v", got)
+	}
+}

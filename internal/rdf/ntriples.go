@@ -1,0 +1,383 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error at a specific line of an N-Triples
+// document.
+type ParseError struct {
+	Line int    // 1-based line number
+	Msg  string // human-readable description
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader parses N-Triples documents (https://www.w3.org/TR/n-triples/)
+// line by line. It tolerates blank lines and '#' comments. Malformed
+// lines produce *ParseError; in lenient mode they are skipped and
+// counted instead.
+type Reader struct {
+	scan    *bufio.Scanner
+	line    int
+	lenient bool
+	skipped int
+}
+
+// NewReader returns a Reader over r in strict mode.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scan: sc}
+}
+
+// SetLenient toggles lenient mode: malformed lines are skipped rather
+// than returned as errors.
+func (r *Reader) SetLenient(lenient bool) { r.lenient = lenient }
+
+// Skipped returns the number of malformed lines skipped in lenient mode.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Next returns the next triple, or io.EOF when the document is exhausted.
+func (r *Reader) Next() (Triple, error) {
+	for r.scan.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line, r.line)
+		if err != nil {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.scan.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the rest of the document and returns all triples.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseString parses an entire N-Triples document held in a string.
+func ParseString(doc string) ([]Triple, error) {
+	return NewReader(strings.NewReader(doc)).ReadAll()
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func parseLine(s string, line int) (Triple, error) {
+	p := &lineParser{s: s, line: line}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return Triple{}, p.errf("expected terminating '.'")
+	}
+	p.pos++
+	p.ws()
+	if p.pos != len(p.s) {
+		return Triple{}, p.errf("trailing content after '.'")
+	}
+	t := Triple{Subject: subj, Predicate: pred, Object: obj}
+	if err := t.Validate(); err != nil {
+		return Triple{}, &ParseError{Line: line, Msg: err.Error()}
+	}
+	return t, nil
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...) + fmt.Sprintf(" at column %d", p.pos+1)}
+}
+
+func (p *lineParser) ws() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) term() (Term, error) {
+	if p.pos >= len(p.s) {
+		return Term{}, p.errf("unexpected end of line")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.iri()
+	case '"':
+		return p.literal()
+	case '_':
+		return p.blank()
+	default:
+		return Term{}, p.errf("unexpected character %q", p.s[p.pos])
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	p.pos++ // consume '<'
+	start := p.pos
+	var b *strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '>':
+			var v string
+			if b == nil {
+				v = p.s[start:p.pos]
+			} else {
+				v = b.String()
+			}
+			p.pos++
+			if v == "" {
+				return Term{}, p.errf("empty IRI")
+			}
+			return NewIRI(v), nil
+		case '\\':
+			if b == nil {
+				b = &strings.Builder{}
+				b.WriteString(p.s[start:p.pos])
+			}
+			r, err := p.escape(false)
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+		case ' ', '<', '"':
+			return Term{}, p.errf("invalid character %q in IRI", c)
+		default:
+			if b != nil {
+				b.WriteByte(c)
+			}
+			p.pos++
+		}
+	}
+	return Term{}, p.errf("unterminated IRI")
+}
+
+func (p *lineParser) literal() (Term, error) {
+	p.pos++ // consume '"'
+	start := p.pos
+	var b *strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '"':
+			var lex string
+			if b == nil {
+				lex = p.s[start:p.pos]
+			} else {
+				lex = b.String()
+			}
+			p.pos++
+			return p.literalSuffix(lex)
+		case '\\':
+			if b == nil {
+				b = &strings.Builder{}
+				b.WriteString(p.s[start:p.pos])
+			}
+			r, err := p.escape(true)
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+		default:
+			if b != nil {
+				b.WriteByte(c)
+			}
+			p.pos++
+		}
+	}
+	return Term{}, p.errf("unterminated literal")
+}
+
+func (p *lineParser) literalSuffix(lex string) (Term, error) {
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && (isAlnum(p.s[p.pos]) || p.s[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.s[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+			return Term{}, p.errf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.s[p.pos:], "_:") {
+		return Term{}, p.errf("expected blank node label")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) && !isWS(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.s[start:p.pos]), nil
+}
+
+// escape decodes one backslash escape starting at p.pos (which points at
+// the backslash). stringEsc enables the string-only escapes (\t \n etc.).
+func (p *lineParser) escape(stringEsc bool) (rune, error) {
+	p.pos++ // consume '\'
+	if p.pos >= len(p.s) {
+		return 0, p.errf("dangling escape")
+	}
+	c := p.s[p.pos]
+	p.pos++
+	switch c {
+	case 'u':
+		return p.hexEscape(4)
+	case 'U':
+		return p.hexEscape(8)
+	}
+	if stringEsc {
+		switch c {
+		case 't':
+			return '\t', nil
+		case 'b':
+			return '\b', nil
+		case 'n':
+			return '\n', nil
+		case 'r':
+			return '\r', nil
+		case 'f':
+			return '\f', nil
+		case '"':
+			return '"', nil
+		case '\'':
+			return '\'', nil
+		case '\\':
+			return '\\', nil
+		}
+	}
+	return 0, p.errf("invalid escape \\%c", c)
+}
+
+func (p *lineParser) hexEscape(n int) (rune, error) {
+	if p.pos+n > len(p.s) {
+		return 0, p.errf("truncated unicode escape")
+	}
+	v, err := strconv.ParseUint(p.s[p.pos:p.pos+n], 16, 32)
+	if err != nil {
+		return 0, p.errf("invalid unicode escape: %v", err)
+	}
+	p.pos += n
+	if !utf8.ValidRune(rune(v)) {
+		return 0, p.errf("invalid rune U+%04X", v)
+	}
+	return rune(v), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' }
+
+// Writer serializes triples in N-Triples syntax.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one triple. Invalid triples are rejected before writing.
+func (w *Writer) Write(t Triple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(t.String()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of triples written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the internal buffer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteAll writes every triple followed by a flush.
+func WriteAll(w io.Writer, triples []Triple) error {
+	tw := NewWriter(w)
+	for _, t := range triples {
+		if err := tw.Write(t); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

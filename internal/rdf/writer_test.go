@@ -1,0 +1,99 @@
+package rdf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingWriter errors after n bytes.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	w := NewWriter(&failingWriter{n: 4})
+	var firstErr error
+	for i := 0; i < 20000 && firstErr == nil; i++ {
+		firstErr = w.Write(NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral(strings.Repeat("x", 100))))
+	}
+	if firstErr == nil {
+		firstErr = w.Flush()
+	}
+	if firstErr == nil {
+		t.Fatal("io error never surfaced")
+	}
+	// Once failed, the writer stays failed.
+	if err := w.Write(NewTriple(NewIRI("s"), NewIRI("p"), NewLiteral("o"))); err == nil {
+		t.Error("write after failure succeeded")
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("flush after failure succeeded")
+	}
+}
+
+func TestParseErrorFields(t *testing.T) {
+	_, err := ParseString("<http://a> <http://p> \"x\"\nbroken line here .")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 { // the first line lacks the dot
+		t.Errorf("line = %d", pe.Line)
+	}
+	if pe.Msg == "" {
+		t.Error("empty message")
+	}
+}
+
+func TestReadAllStopsAtError(t *testing.T) {
+	r := NewReader(strings.NewReader("<http://a> <http://p> \"ok\" .\nbroken\n<http://b> <http://p> \"ok\" .\n"))
+	triples, err := r.ReadAll()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(triples) != 1 {
+		t.Errorf("read %d triples before error, want 1", len(triples))
+	}
+}
+
+func TestCRLFLineEndings(t *testing.T) {
+	doc := "<http://a> <http://p> \"v1\" .\r\n<http://b> <http://p> \"v2\" .\r\n"
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	if triples[0].Object.Value != "v1" {
+		t.Errorf("value = %q", triples[0].Object.Value)
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	doc := "   <http://a>\t\t<http://p>   \"spaced\"   .   "
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 || triples[0].Object.Value != "spaced" {
+		t.Errorf("triples = %v", triples)
+	}
+}

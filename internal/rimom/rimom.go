@@ -1,0 +1,237 @@
+// Package rimom approximates RiMOM-IM (Shao et al., JCST 2016), the
+// iterative instance-matching baseline. Its signature device is the
+// "one-left-object" heuristic (paper §II): if two matched descriptions
+// e1, e1' are connected via aligned relations r, r' and all their
+// neighbors via r, r' have been matched except e2, e2', then e2, e2'
+// are also considered matches. The approximation seeds matches from
+// identical names plus a value-similarity clustering, then applies
+// one-left-object rounds until fixpoint.
+package rimom
+
+import (
+	"sort"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/cluster"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/sigma"
+)
+
+// Config tunes the approximation.
+type Config struct {
+	// NameK is the number of top name attributes for seed matching.
+	NameK int
+	// Threshold is the value-similarity threshold of the initial
+	// clustering.
+	Threshold float64
+	// MaxRounds bounds the one-left-object iterations.
+	MaxRounds int
+	// Purge configures Block Purging of the candidate blocks.
+	Purge blocking.PurgeConfig
+}
+
+// DefaultConfig returns the standard settings.
+func DefaultConfig() Config {
+	return Config{
+		NameK:     2,
+		Threshold: 0.6,
+		MaxRounds: 10,
+		Purge:     blocking.DefaultPurgeConfig(),
+	}
+}
+
+// Run executes the RiMOM-IM approximation.
+func Run(kb1, kb2 *kb.KB, cfg Config) []eval.Pair {
+	st := &state{
+		kb1: kb1, kb2: kb2, cfg: cfg,
+		matched1: make(map[kb.EntityID]kb.EntityID),
+		matched2: make(map[kb.EntityID]kb.EntityID),
+	}
+	st.seed()
+	for round := 0; round < cfg.MaxRounds; round++ {
+		st.alignRelations()
+		if st.oneLeftObjectRound() == 0 {
+			break
+		}
+	}
+	return st.result()
+}
+
+type state struct {
+	kb1, kb2 *kb.KB
+	cfg      Config
+
+	matched1 map[kb.EntityID]kb.EntityID
+	matched2 map[kb.EntityID]kb.EntityID
+	align    map[[2]int32]struct{}
+}
+
+func (s *state) add(p eval.Pair) bool {
+	if _, t := s.matched1[p.E1]; t {
+		return false
+	}
+	if _, t := s.matched2[p.E2]; t {
+		return false
+	}
+	s.matched1[p.E1] = p.E2
+	s.matched2[p.E2] = p.E1
+	return true
+}
+
+// seed combines identical-name matches with a unique-mapping clustering
+// of value similarities over the token-block candidates.
+func (s *state) seed() {
+	for _, p := range sigma.NameSeeds(s.kb1, s.kb2, s.cfg.NameK) {
+		s.add(p)
+	}
+	vs := sigma.ValueSimilarity(s.kb1, s.kb2)
+	bt := blocking.TokenBlocks(s.kb1, s.kb2)
+	bt, _ = blocking.Purge(bt, s.cfg.Purge)
+	idx := bt.BuildIndex()
+	seen := make(map[eval.Pair]struct{})
+	var scored []cluster.ScoredPair
+	for e1 := 0; e1 < s.kb1.Len(); e1++ {
+		id1 := kb.EntityID(e1)
+		if _, t := s.matched1[id1]; t {
+			continue
+		}
+		for _, e2 := range bt.Candidates1(idx, id1) {
+			if _, t := s.matched2[e2]; t {
+				continue
+			}
+			p := eval.Pair{E1: id1, E2: e2}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			if sim := vs(id1, e2); sim >= s.cfg.Threshold {
+				scored = append(scored, cluster.ScoredPair{E1: id1, E2: e2, Score: sim})
+			}
+		}
+	}
+	for _, p := range cluster.UniqueMapping(scored, s.cfg.Threshold) {
+		s.add(p)
+	}
+}
+
+// alignRelations marks relation pairs that connect matched pairs to
+// matched pairs as aligned.
+func (s *state) alignRelations() {
+	s.align = make(map[[2]int32]struct{})
+	for x, y := range s.matched1 {
+		yOut := make(map[kb.EntityID][]int32)
+		for _, e := range s.kb2.Entity(y).Out {
+			yOut[e.Target] = append(yOut[e.Target], e.Pred)
+		}
+		for _, e1 := range s.kb1.Entity(x).Out {
+			tgt2, ok := s.matched1[e1.Target]
+			if !ok {
+				continue
+			}
+			for _, r2 := range yOut[tgt2] {
+				s.align[[2]int32{e1.Pred, r2}] = struct{}{}
+			}
+		}
+	}
+}
+
+// oneLeftObjectRound applies the heuristic once over all current
+// matches and returns the number of new matches.
+func (s *state) oneLeftObjectRound() int {
+	// Snapshot: decisions within a round are based on the state at the
+	// round's start, keeping the process deterministic.
+	type pending struct{ p eval.Pair }
+	var proposals []pending
+
+	matchedPairs := make([]eval.Pair, 0, len(s.matched1))
+	for x, y := range s.matched1 {
+		matchedPairs = append(matchedPairs, eval.Pair{E1: x, E2: y})
+	}
+	sort.Slice(matchedPairs, func(i, j int) bool {
+		if matchedPairs[i].E1 != matchedPairs[j].E1 {
+			return matchedPairs[i].E1 < matchedPairs[j].E1
+		}
+		return matchedPairs[i].E2 < matchedPairs[j].E2
+	})
+
+	for _, mp := range matchedPairs {
+		x, y := mp.E1, mp.E2
+		for rr := range s.align {
+			left1 := s.unmatchedNeighbors1(x, rr[0])
+			if len(left1) != 1 {
+				continue
+			}
+			left2 := s.unmatchedNeighbors2(y, rr[1])
+			if len(left2) != 1 {
+				continue
+			}
+			proposals = append(proposals, pending{p: eval.Pair{E1: left1[0], E2: left2[0]}})
+		}
+	}
+	sort.Slice(proposals, func(i, j int) bool {
+		if proposals[i].p.E1 != proposals[j].p.E1 {
+			return proposals[i].p.E1 < proposals[j].p.E1
+		}
+		return proposals[i].p.E2 < proposals[j].p.E2
+	})
+	added := 0
+	for _, pr := range proposals {
+		if s.add(pr.p) {
+			added++
+		}
+	}
+	return added
+}
+
+func (s *state) unmatchedNeighbors1(x kb.EntityID, pred int32) []kb.EntityID {
+	var out []kb.EntityID
+	seen := make(map[kb.EntityID]struct{})
+	for _, e := range s.kb1.Entity(x).Out {
+		if e.Pred != pred {
+			continue
+		}
+		if _, t := s.matched1[e.Target]; t {
+			continue
+		}
+		if _, dup := seen[e.Target]; dup {
+			continue
+		}
+		seen[e.Target] = struct{}{}
+		out = append(out, e.Target)
+	}
+	return out
+}
+
+func (s *state) unmatchedNeighbors2(y kb.EntityID, pred int32) []kb.EntityID {
+	var out []kb.EntityID
+	seen := make(map[kb.EntityID]struct{})
+	for _, e := range s.kb2.Entity(y).Out {
+		if e.Pred != pred {
+			continue
+		}
+		if _, t := s.matched2[e.Target]; t {
+			continue
+		}
+		if _, dup := seen[e.Target]; dup {
+			continue
+		}
+		seen[e.Target] = struct{}{}
+		out = append(out, e.Target)
+	}
+	return out
+}
+
+func (s *state) result() []eval.Pair {
+	out := make([]eval.Pair, 0, len(s.matched1))
+	for x, y := range s.matched1 {
+		out = append(out, eval.Pair{E1: x, E2: y})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}

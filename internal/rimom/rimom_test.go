@@ -1,0 +1,132 @@
+package rimom
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func tr(s, p string, o rdf.Term) rdf.Triple { return rdf.NewTriple(iri(s), iri(p), o) }
+
+func mustKB(t testing.TB, name string, triples []rdf.Triple) *kb.KB {
+	t.Helper()
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRunSeedsByNameAndValue(t *testing.T) {
+	var t1, t2 []rdf.Triple
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("Distinct Item %02d", i)
+		t1 = append(t1, tr(fmt.Sprintf("http://a/e%02d", i), "http://va/name", lit(name)))
+		t2 = append(t2, tr(fmt.Sprintf("http://b/e%02d", i), "http://vb/label", lit(name)))
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	matches := Run(kb1, kb2, DefaultConfig())
+	if len(matches) != 5 {
+		t.Fatalf("matches = %v, want 5", matches)
+	}
+}
+
+func TestOneLeftObject(t *testing.T) {
+	// Two movie pairs seed by identical titles. Each movie has two
+	// actors: one matchable by value, one with totally disjoint values.
+	// After the value-matchable actor is matched, the remaining actor is
+	// the "one left object" on both sides and must be matched by the
+	// heuristic despite zero value overlap.
+	var t1, t2 []rdf.Triple
+	for i := 0; i < 2; i++ {
+		m1 := fmt.Sprintf("http://a/m%d", i)
+		m2 := fmt.Sprintf("http://b/m%d", i)
+		title := fmt.Sprintf("Same Movie Title %d", i)
+		t1 = append(t1, tr(m1, "http://va/title", lit(title)))
+		t2 = append(t2, tr(m2, "http://vb/title", lit(title)))
+		for j := 0; j < 2; j++ {
+			c1 := fmt.Sprintf("http://a/c%d_%d", i, j)
+			c2 := fmt.Sprintf("http://b/c%d_%d", i, j)
+			t1 = append(t1, tr(m1, "http://va/cast", iri(c1)))
+			t2 = append(t2, tr(m2, "http://vb/cast", iri(c2)))
+			if j == 0 {
+				aname := fmt.Sprintf("Known Actor %d", i)
+				t1 = append(t1, tr(c1, "http://va/name", lit(aname)))
+				t2 = append(t2, tr(c2, "http://vb/name", lit(aname)))
+			} else {
+				t1 = append(t1, tr(c1, "http://va/name", lit(fmt.Sprintf("alpha beta %d", i))))
+				t2 = append(t2, tr(c2, "http://vb/name", lit(fmt.Sprintf("gamma delta %d", i))))
+			}
+		}
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	matches := Run(kb1, kb2, DefaultConfig())
+	gotPairs := map[string]string{}
+	for _, p := range matches {
+		gotPairs[kb1.URI(p.E1)] = kb2.URI(p.E2)
+	}
+	for i := 0; i < 2; i++ {
+		left1 := fmt.Sprintf("http://a/c%d_1", i)
+		left2 := fmt.Sprintf("http://b/c%d_1", i)
+		if gotPairs[left1] != left2 {
+			t.Errorf("one-left-object missed %s -> %s (got %q); matches=%v",
+				left1, left2, gotPairs[left1], matches)
+		}
+	}
+}
+
+func TestRunNoFalseOneLeftWhenAmbiguous(t *testing.T) {
+	// A movie pair with TWO unmatched actors on each side: the heuristic
+	// must not fire (it requires exactly one left object).
+	var t1, t2 []rdf.Triple
+	t1 = append(t1, tr("http://a/m", "http://va/title", lit("Shared Unique Title")))
+	t2 = append(t2, tr("http://b/m", "http://vb/title", lit("Shared Unique Title")))
+	for j := 0; j < 2; j++ {
+		c1 := fmt.Sprintf("http://a/c%d", j)
+		c2 := fmt.Sprintf("http://b/c%d", j)
+		t1 = append(t1, tr("http://a/m", "http://va/cast", iri(c1)))
+		t2 = append(t2, tr("http://b/m", "http://vb/cast", iri(c2)))
+		t1 = append(t1, tr(c1, "http://va/name", lit(fmt.Sprintf("aaa bbb %d", j))))
+		t2 = append(t2, tr(c2, "http://vb/name", lit(fmt.Sprintf("ccc ddd %d", j))))
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	matches := Run(kb1, kb2, DefaultConfig())
+	for _, p := range matches {
+		u := kb1.URI(p.E1)
+		if u != "http://a/m" {
+			t.Errorf("ambiguous actors matched: %s -> %s", u, kb2.URI(p.E2))
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var t1, t2 []rdf.Triple
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("Entity %02d", i)
+		t1 = append(t1, tr(fmt.Sprintf("http://a/e%02d", i), "http://va/name", lit(name)))
+		t2 = append(t2, tr(fmt.Sprintf("http://b/e%02d", i), "http://vb/name", lit(name)))
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	a := Run(kb1, kb2, DefaultConfig())
+	b := Run(kb1, kb2, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	kb1, kb2 := mustKB(t, "a", nil), mustKB(t, "b", nil)
+	if got := Run(kb1, kb2, DefaultConfig()); len(got) != 0 {
+		t.Errorf("matches on empty KBs: %v", got)
+	}
+}

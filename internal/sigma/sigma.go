@@ -1,0 +1,108 @@
+// Package sigma approximates SiGMa (Lacoste-Julien et al., KDD 2013),
+// the greedy knowledge-base alignment baseline: seed matches with
+// identical entity names, learn which relation pairs are compatible
+// from the seeds' edges, then greedily expand along the graph, scoring
+// candidates by a combination of value similarity and relational
+// agreement, under unique-mapping semantics.
+package sigma
+
+import (
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/propagate"
+	"minoaner/internal/similarity"
+)
+
+// Config tunes the approximation.
+type Config struct {
+	// NameK is the number of top attributes whose values seed matches.
+	NameK int
+	// Engine configures the propagation (alpha, threshold, caps).
+	Engine propagate.Config
+}
+
+// DefaultConfig returns the standard settings.
+func DefaultConfig() Config {
+	return Config{NameK: 2, Engine: propagate.DefaultConfig()}
+}
+
+// learnedCompat counts how often relation pairs connect matches to
+// matches; the weight is the count normalized by the pair's strongest
+// competitor on either side, so an r1 consistently co-occurring with
+// one r2 converges to weight 1. Completely unobserved relation pairs
+// receive an optimistic prior — SiGMa's alignment is learned from the
+// data, so the engine must be able to take a first step before any
+// evidence exists; once either relation has been observed, the measured
+// ratio replaces the prior.
+type learnedCompat struct {
+	counts map[[2]int32]float64
+	max1   map[int32]float64
+	max2   map[int32]float64
+	prior  float64
+}
+
+func newLearnedCompat() *learnedCompat {
+	return &learnedCompat{
+		counts: make(map[[2]int32]float64),
+		max1:   make(map[int32]float64),
+		max2:   make(map[int32]float64),
+		prior:  0.25,
+	}
+}
+
+// Learn implements propagate.Compat.
+func (c *learnedCompat) Learn(r1, r2 int32) {
+	k := [2]int32{r1, r2}
+	c.counts[k]++
+	if v := c.counts[k]; v > c.max1[r1] {
+		c.max1[r1] = v
+	}
+	if v := c.counts[k]; v > c.max2[r2] {
+		c.max2[r2] = v
+	}
+}
+
+// Weight implements propagate.Compat.
+func (c *learnedCompat) Weight(r1, r2 int32) float64 {
+	n := c.counts[[2]int32{r1, r2}]
+	denom := c.max1[r1]
+	if c.max2[r2] > denom {
+		denom = c.max2[r2]
+	}
+	if denom == 0 {
+		return c.prior
+	}
+	return n / denom
+}
+
+// Run executes the SiGMa approximation.
+func Run(kb1, kb2 *kb.KB, cfg Config) []eval.Pair {
+	seeds := NameSeeds(kb1, kb2, cfg.NameK)
+	vs := ValueSimilarity(kb1, kb2)
+	return propagate.Run(kb1, kb2, seeds, vs, newLearnedCompat(), cfg.Engine)
+}
+
+// NameSeeds returns the unambiguous identical-name pairs: name blocks
+// holding exactly one entity from each KB.
+func NameSeeds(kb1, kb2 *kb.KB, nameK int) []eval.Pair {
+	bn := blocking.NameBlocks(kb1, kb2, nameK)
+	var seeds []eval.Pair
+	for i := range bn.Blocks {
+		b := &bn.Blocks[i]
+		if len(b.E1) == 1 && len(b.E2) == 1 {
+			seeds = append(seeds, eval.Pair{E1: b.E1[0], E2: b.E2[0]})
+		}
+	}
+	return seeds
+}
+
+// ValueSimilarity builds the [0,1] value similarity SiGMa scores pairs
+// with: the weighted-overlap (SiGMa) measure over TF-IDF unigram
+// profiles.
+func ValueSimilarity(kb1, kb2 *kb.KB) propagate.ValueSim {
+	ps := similarity.BuildProfiles(kb1, kb2, 1, similarity.TFIDF)
+	return func(e1, e2 kb.EntityID) float64 {
+		return similarity.Compare(similarity.SiGMa, ps.P1[e1], ps.P2[e2])
+	}
+}

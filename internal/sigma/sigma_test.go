@@ -1,0 +1,161 @@
+package sigma
+
+import (
+	"fmt"
+	"testing"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func tr(s, p string, o rdf.Term) rdf.Triple { return rdf.NewTriple(iri(s), iri(p), o) }
+
+func mustKB(t testing.TB, name string, triples []rdf.Triple) *kb.KB {
+	t.Helper()
+	k, err := kb.FromTriples(name, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestLearnedCompat(t *testing.T) {
+	c := newLearnedCompat()
+	if w := c.Weight(1, 2); w != c.prior {
+		t.Errorf("unobserved pair weight = %f, want optimistic prior %f", w, c.prior)
+	}
+	c.Learn(1, 2)
+	c.Learn(1, 2)
+	c.Learn(1, 3)
+	// (1,2) seen twice, max for r1=1 is 2 → weight 1. (1,3) once → 0.5.
+	if w := c.Weight(1, 2); w != 1 {
+		t.Errorf("Weight(1,2) = %f, want 1", w)
+	}
+	if w := c.Weight(1, 3); w != 0.5 {
+		t.Errorf("Weight(1,3) = %f, want 0.5", w)
+	}
+	// Once r1 is observed, a never-seen partner drops to its measured
+	// ratio (0), not the prior.
+	if w := c.Weight(1, 9); w != 0 {
+		t.Errorf("Weight(1,9) = %f, want 0 after r1 observed", w)
+	}
+	if w := c.Weight(8, 9); w != c.prior {
+		t.Errorf("Weight(8,9) = %f, want prior (both unobserved)", w)
+	}
+}
+
+func TestNameSeeds(t *testing.T) {
+	t1 := []rdf.Triple{
+		tr("http://a/x", "http://v/name", lit("Unique Name")),
+		tr("http://a/y", "http://v/name", lit("Shared Name")),
+		tr("http://a/z", "http://v/name", lit("Shared Name")),
+	}
+	t2 := []rdf.Triple{
+		tr("http://b/x", "http://v/label", lit("unique name")),
+		tr("http://b/y", "http://v/label", lit("shared name")),
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	seeds := NameSeeds(kb1, kb2, 2)
+	if len(seeds) != 1 {
+		t.Fatalf("seeds = %v, want only the unambiguous pair", seeds)
+	}
+	e1, _ := kb1.Lookup("http://a/x")
+	e2, _ := kb2.Lookup("http://b/x")
+	if seeds[0] != (eval.Pair{E1: e1, E2: e2}) {
+		t.Errorf("seed = %v", seeds[0])
+	}
+}
+
+// buildGraphPair constructs movie KBs where movies seed by name and
+// actors can only be reached through graph propagation: their literal
+// values differ across KBs except for a moderately similar overlap.
+func buildGraphPair(t testing.TB) (*kb.KB, *kb.KB, *eval.GroundTruth) {
+	t.Helper()
+	var t1, t2 []rdf.Triple
+	n := 8
+	for i := 0; i < n; i++ {
+		m1 := fmt.Sprintf("http://a/m%02d", i)
+		m2 := fmt.Sprintf("http://b/m%02d", i)
+		title := fmt.Sprintf("The Great Film %02d", i)
+		t1 = append(t1,
+			tr(m1, "http://va/title", lit(title)),
+			tr(m1, "http://va/starring", iri(fmt.Sprintf("http://a/c%02d", i))),
+		)
+		t2 = append(t2,
+			tr(m2, "http://vb/name", lit(title)),
+			tr(m2, "http://vb/actor", iri(fmt.Sprintf("http://b/c%02d", i))),
+		)
+		// Actors: same surname token, different given names.
+		t1 = append(t1, tr(fmt.Sprintf("http://a/c%02d", i), "http://va/actorName",
+			lit(fmt.Sprintf("john surname%02d", i))))
+		t2 = append(t2, tr(fmt.Sprintf("http://b/c%02d", i), "http://vb/performer",
+			lit(fmt.Sprintf("j surname%02d", i))))
+	}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	gt := eval.NewGroundTruth()
+	for i := 0; i < n; i++ {
+		for _, prefix := range []string{"m", "c"} {
+			e1, _ := kb1.Lookup(fmt.Sprintf("http://a/%s%02d", prefix, i))
+			e2, _ := kb2.Lookup(fmt.Sprintf("http://b/%s%02d", prefix, i))
+			if err := gt.Add(e1, e2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return kb1, kb2, gt
+}
+
+func TestRunPropagatesFromSeeds(t *testing.T) {
+	kb1, kb2, gt := buildGraphPair(t)
+	matches := Run(kb1, kb2, DefaultConfig())
+	m := eval.Evaluate(matches, gt)
+	if m.Recall < 0.9 {
+		t.Errorf("SiGMa recall = %s, want >= 0.9 (matches=%v)", m, matches)
+	}
+	if m.Precision < 0.9 {
+		t.Errorf("SiGMa precision = %s", m)
+	}
+}
+
+func TestRunRespectsUniqueMapping(t *testing.T) {
+	kb1, kb2, _ := buildGraphPair(t)
+	matches := Run(kb1, kb2, DefaultConfig())
+	seen1 := map[kb.EntityID]bool{}
+	seen2 := map[kb.EntityID]bool{}
+	for _, p := range matches {
+		if seen1[p.E1] || seen2[p.E2] {
+			t.Fatalf("duplicate entity in %v", matches)
+		}
+		seen1[p.E1] = true
+		seen2[p.E2] = true
+	}
+}
+
+func TestRunNoSeedsNoMatches(t *testing.T) {
+	// Without any identical names and with value sims below threshold,
+	// nothing ever enters the queue.
+	t1 := []rdf.Triple{tr("http://a/x", "http://v/name", lit("totally distinct"))}
+	t2 := []rdf.Triple{tr("http://b/x", "http://v/name", lit("competely other"))}
+	kb1, kb2 := mustKB(t, "a", t1), mustKB(t, "b", t2)
+	if got := Run(kb1, kb2, DefaultConfig()); len(got) != 0 {
+		t.Errorf("matches without seeds: %v", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	kb1, kb2, _ := buildGraphPair(t)
+	a := Run(kb1, kb2, DefaultConfig())
+	b := Run(kb1, kb2, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/tokenize"
+)
+
+// Scheme selects the token-weighting scheme of a profile (BSL baseline
+// configuration (ii) in §IV of the paper).
+type Scheme uint8
+
+const (
+	// TF weights terms by their in-entity frequency.
+	TF Scheme = iota
+	// TFIDF additionally discounts terms frequent across the corpus
+	// (both KBs pooled).
+	TFIDF
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == TFIDF {
+		return "TF-IDF"
+	}
+	return "TF"
+}
+
+// Entry is one weighted term of a profile.
+type Entry struct {
+	Term int32
+	W    float64
+}
+
+// Profile is the sparse weighted-term vector of one entity, sorted by
+// term ID.
+type Profile []Entry
+
+// Norm returns the Euclidean norm of the profile.
+func (p Profile) Norm() float64 {
+	var s float64
+	for _, e := range p {
+		s += e.W * e.W
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the profile's weights.
+func (p Profile) Sum() float64 {
+	var s float64
+	for _, e := range p {
+		s += e.W
+	}
+	return s
+}
+
+// ProfileSet holds the profiles of every entity of both KBs under one
+// (n-gram, scheme) configuration, sharing one term dictionary.
+type ProfileSet struct {
+	NGram  int
+	Scheme Scheme
+	P1     []Profile // indexed by KB1 entity ID
+	P2     []Profile // indexed by KB2 entity ID
+}
+
+// BuildProfiles constructs the schema-agnostic n-gram representation of
+// every entity of both KBs: each entity becomes the weighted multiset of
+// the token 1..n-grams of its attribute values.
+func BuildProfiles(kb1, kb2 *kb.KB, ngram int, scheme Scheme) *ProfileSet {
+	dict := make(map[string]int32)
+	df := []int32{} // document frequency per term, pooled over both KBs
+
+	counts1 := entityTermCounts(kb1, ngram, dict, &df)
+	counts2 := entityTermCounts(kb2, ngram, dict, &df)
+
+	n := float64(kb1.Len() + kb2.Len())
+	weigh := func(counts []map[int32]int32) []Profile {
+		out := make([]Profile, len(counts))
+		for i, tc := range counts {
+			p := make(Profile, 0, len(tc))
+			for term, c := range tc {
+				w := float64(c)
+				if scheme == TFIDF {
+					w *= math.Log(1 + n/float64(df[term]))
+				}
+				p = append(p, Entry{Term: term, W: w})
+			}
+			sort.Slice(p, func(a, b int) bool { return p[a].Term < p[b].Term })
+			out[i] = p
+		}
+		return out
+	}
+	return &ProfileSet{NGram: ngram, Scheme: scheme, P1: weigh(counts1), P2: weigh(counts2)}
+}
+
+// entityTermCounts tokenizes every entity into n-grams, interning terms
+// in dict and maintaining pooled document frequencies.
+func entityTermCounts(k *kb.KB, ngram int, dict map[string]int32, df *[]int32) []map[int32]int32 {
+	out := make([]map[int32]int32, k.Len())
+	for i := 0; i < k.Len(); i++ {
+		e := k.Entity(kb.EntityID(i))
+		values := make([]string, len(e.Attrs))
+		for j, av := range e.Attrs {
+			values[j] = av.Value
+		}
+		toks := tokenize.TokensOfAll(values, tokenize.DefaultOptions)
+		grams := tokenize.NGrams(toks, ngram)
+		tc := make(map[int32]int32, len(grams))
+		for _, g := range grams {
+			id, ok := dict[g]
+			if !ok {
+				id = int32(len(*df))
+				dict[g] = id
+				*df = append(*df, 0)
+			}
+			tc[id]++
+		}
+		for term := range tc {
+			(*df)[term]++
+		}
+		out[i] = tc
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileNormAndSum(t *testing.T) {
+	p := mkProfile([2]float64{0, 3}, [2]float64{1, 4})
+	if got := p.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %f, want 5", got)
+	}
+	if got := p.Sum(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Sum = %f, want 7", got)
+	}
+	var empty Profile
+	if empty.Norm() != 0 || empty.Sum() != 0 {
+		t.Error("empty profile norm/sum nonzero")
+	}
+}
+
+func TestBuildProfilesDeterministic(t *testing.T) {
+	kb1 := kbFromValues(t, "a", []string{"alpha beta gamma", "beta beta delta"})
+	kb2 := kbFromValues(t, "b", []string{"gamma alpha", "epsilon"})
+	for _, scheme := range []Scheme{TF, TFIDF} {
+		a := BuildProfiles(kb1, kb2, 1, scheme)
+		b := BuildProfiles(kb1, kb2, 1, scheme)
+		for i := range a.P1 {
+			if len(a.P1[i]) != len(b.P1[i]) {
+				t.Fatalf("scheme %v: profile %d differs in size", scheme, i)
+			}
+			for j := range a.P1[i] {
+				if a.P1[i][j] != b.P1[i][j] {
+					t.Fatalf("scheme %v: profile %d entry %d differs", scheme, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildProfilesSharedDictionary(t *testing.T) {
+	kb1 := kbFromValues(t, "a", []string{"alpha"})
+	kb2 := kbFromValues(t, "b", []string{"alpha"})
+	ps := BuildProfiles(kb1, kb2, 1, TF)
+	if len(ps.P1[0]) != 1 || len(ps.P2[0]) != 1 {
+		t.Fatal("profiles wrong size")
+	}
+	if ps.P1[0][0].Term != ps.P2[0][0].Term {
+		t.Error("shared token interned under different IDs")
+	}
+}
+
+func TestBuildProfilesEmptyEntities(t *testing.T) {
+	kb1 := kbFromValues(t, "a", []string{"...", "real tokens"})
+	kb2 := kbFromValues(t, "b", []string{"other words"})
+	ps := BuildProfiles(kb1, kb2, 1, TFIDF)
+	if len(ps.P1[0]) != 0 {
+		t.Errorf("punctuation-only entity has profile %v", ps.P1[0])
+	}
+	for _, m := range AllMeasures {
+		if got := Compare(m, ps.P1[0], ps.P2[0]); got != 0 {
+			t.Errorf("%v with empty profile = %f", m, got)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if TF.String() != "TF" || TFIDF.String() != "TF-IDF" {
+		t.Error("scheme names wrong")
+	}
+}

@@ -1,0 +1,89 @@
+// Package similarity implements the value-similarity functions of the
+// paper: the ARCS-variant valueSim that drives H2 and H3, and the
+// baseline measures (Cosine, Jaccard, Generalized Jaccard, SiGMa) over
+// TF / TF-IDF weighted token n-gram profiles used by BSL.
+package similarity
+
+import (
+	"math"
+
+	"minoaner/internal/kb"
+)
+
+// ARCSWeights holds the per-token weights of valueSim for one pair of
+// KBs:
+//
+//	w(t) = 1 / log2(EF_E1(t) · EF_E2(t) + 1)
+//
+// where EF_E(t) is the number of entities of E containing token t
+// (paper §III, H2). Tokens absent from either KB have weight 0 — they
+// cannot contribute to a cross-KB intersection.
+type ARCSWeights struct {
+	kb1, kb2 *kb.KB
+}
+
+// NewARCSWeights prepares valueSim weights for the KB pair.
+func NewARCSWeights(kb1, kb2 *kb.KB) *ARCSWeights {
+	return &ARCSWeights{kb1: kb1, kb2: kb2}
+}
+
+// Weight returns w(t). A token unique in both KBs gets
+// 1/log2(1·1+1) = 1; frequent tokens decay towards 0.
+func (w *ARCSWeights) Weight(token string) float64 {
+	ef1 := w.kb1.EF(token)
+	if ef1 == 0 {
+		return 0
+	}
+	ef2 := w.kb2.EF(token)
+	if ef2 == 0 {
+		return 0
+	}
+	return 1 / math.Log2(float64(ef1)*float64(ef2)+1)
+}
+
+// ValueSim computes the paper's value similarity between two token
+// bags, given as sorted slices of distinct tokens (the representation
+// kb.Tokens returns):
+//
+//	valueSim(e_i, e_j) = Σ_{t ∈ tokens(e_i) ∩ tokens(e_j)} w(t)
+//
+// The result is non-negative, symmetric, and grows with the number of
+// shared infrequent tokens; a single token unique to the pair already
+// yields 1.
+func (w *ARCSWeights) ValueSim(toks1, toks2 []string) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(toks1) && j < len(toks2) {
+		switch {
+		case toks1[i] < toks2[j]:
+			i++
+		case toks1[i] > toks2[j]:
+			j++
+		default:
+			sum += w.Weight(toks1[i])
+			i++
+			j++
+		}
+	}
+	return sum
+}
+
+// ValueSimIDs is the hot-path variant over interned token IDs: a and b
+// are sorted slices of distinct IDs, weights[id] the precomputed w(t).
+func ValueSimIDs(a, b []int32, weights []float64) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			sum += weights[a[i]]
+			i++
+			j++
+		}
+	}
+	return sum
+}

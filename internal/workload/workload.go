@@ -1,0 +1,362 @@
+// Package workload is a general, spec-driven synthetic KB-pair
+// generator. Where internal/datagen ships the four fixed stand-ins of
+// the paper's benchmarks, workload exposes the underlying knobs —
+// population sizes, attribute noise, schema divergence, relation
+// topology, distractor mass — so new stress tests (parameter sweeps,
+// scaling studies, adversarial fixtures) can be declared rather than
+// hand-written.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/rdf"
+)
+
+// Spec declares one synthetic clean-clean ER workload.
+type Spec struct {
+	// Name labels the generated dataset.
+	Name string
+	// Seed drives all randomness.
+	Seed int64
+	// Classes declares the entity populations. At least one required.
+	Classes []ClassSpec
+}
+
+// ClassSpec declares one entity class (e.g. "movie", "person").
+type ClassSpec struct {
+	// Name is the class label (also the rdf:type local name).
+	Name string
+	// Matched is the number of entities present in both KBs (and in the
+	// ground truth).
+	Matched int
+	// Extra1 and Extra2 are unmatched distractors per KB.
+	Extra1, Extra2 int
+	// Attributes declares the literal attributes of the class.
+	Attributes []AttributeSpec
+	// Relations declares edges to other classes.
+	Relations []RelationSpec
+}
+
+// AttributeSpec declares one literal attribute.
+type AttributeSpec struct {
+	// Name1 and Name2 are the per-KB predicate local names (schema
+	// divergence is the norm on the Web). Empty Name2 copies Name1.
+	Name1, Name2 string
+	// Tokens is the number of tokens per value.
+	Tokens int
+	// Vocabulary is the size of the token pool: small pools make tokens
+	// ambiguous, large pools make them distinctive.
+	Vocabulary int
+	// NoiseDrop, NoiseReplace are per-token probabilities applied to
+	// the KB2 copy of a matched entity's value.
+	NoiseDrop, NoiseReplace float64
+	// Identifying marks the attribute as shared verbatim between the
+	// two copies of a matched entity (before noise). Non-identifying
+	// attributes are generated independently per KB (pure junk).
+	Identifying bool
+}
+
+// RelationSpec declares edges from this class to a target class.
+type RelationSpec struct {
+	// Name1, Name2 are the per-KB predicate local names.
+	Name1, Name2 string
+	// Target is the target class name.
+	Target string
+	// OutDegree is the number of edges per entity.
+	OutDegree int
+	// MatchedOnly restricts edges to matched target entities, keeping
+	// the cross-KB neighborhoods aligned.
+	MatchedOnly bool
+}
+
+// Dataset is the generated pair.
+type Dataset struct {
+	KB1, KB2 *kb.KB
+	GT       *eval.GroundTruth
+}
+
+// Generate builds the workload.
+func Generate(spec Spec) (*Dataset, error) {
+	if len(spec.Classes) == 0 {
+		return nil, fmt.Errorf("workload: spec %q has no classes", spec.Name)
+	}
+	g := &generator{
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		ns1:   "http://kb1.example.org/",
+		ns2:   "http://kb2.example.org/",
+		pools: make(map[string][]string),
+	}
+	for _, c := range spec.Classes {
+		if err := g.validate(c); err != nil {
+			return nil, err
+		}
+	}
+	// First pass: entity URIs per class (matched + extras), so
+	// relations can point anywhere.
+	for _, c := range spec.Classes {
+		g.allocate(c)
+	}
+	for _, c := range spec.Classes {
+		if err := g.emit(c); err != nil {
+			return nil, err
+		}
+	}
+	kb1, err := kb.FromTriples(spec.Name+"/KB1", g.t1)
+	if err != nil {
+		return nil, err
+	}
+	kb2, err := kb.FromTriples(spec.Name+"/KB2", g.t2)
+	if err != nil {
+		return nil, err
+	}
+	gt := eval.NewGroundTruth()
+	for _, p := range g.gtURIs {
+		e1, ok := kb1.Lookup(p[0])
+		if !ok {
+			return nil, fmt.Errorf("workload: ground-truth URI %q missing", p[0])
+		}
+		e2, ok := kb2.Lookup(p[1])
+		if !ok {
+			return nil, fmt.Errorf("workload: ground-truth URI %q missing", p[1])
+		}
+		if err := gt.Add(e1, e2); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{KB1: kb1, KB2: kb2, GT: gt}, nil
+}
+
+type classPop struct {
+	matched1, matched2 []string // parallel: matched1[i] ↔ matched2[i]
+	extra1, extra2     []string
+}
+
+type generator struct {
+	rng      *rand.Rand
+	ns1, ns2 string
+	pools    map[string][]string
+	pops     map[string]*classPop
+	t1, t2   []rdf.Triple
+	gtURIs   [][2]string
+}
+
+func (g *generator) validate(c ClassSpec) error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: class without a name")
+	}
+	if c.Matched < 0 || c.Extra1 < 0 || c.Extra2 < 0 {
+		return fmt.Errorf("workload: class %q has negative populations", c.Name)
+	}
+	for _, a := range c.Attributes {
+		if a.Name1 == "" {
+			return fmt.Errorf("workload: class %q attribute without a name", c.Name)
+		}
+		if a.Tokens <= 0 || a.Vocabulary <= 0 {
+			return fmt.Errorf("workload: class %q attribute %q needs positive Tokens and Vocabulary", c.Name, a.Name1)
+		}
+	}
+	return nil
+}
+
+func (g *generator) allocate(c ClassSpec) {
+	if g.pops == nil {
+		g.pops = make(map[string]*classPop)
+	}
+	pop := &classPop{}
+	for i := 0; i < c.Matched; i++ {
+		pop.matched1 = append(pop.matched1, fmt.Sprintf("%sresource/%s/%06d", g.ns1, c.Name, i))
+		pop.matched2 = append(pop.matched2, fmt.Sprintf("%sresource/%s/%06d", g.ns2, c.Name, i))
+	}
+	for i := 0; i < c.Extra1; i++ {
+		pop.extra1 = append(pop.extra1, fmt.Sprintf("%sresource/%s/x%06d", g.ns1, c.Name, i))
+	}
+	for i := 0; i < c.Extra2; i++ {
+		pop.extra2 = append(pop.extra2, fmt.Sprintf("%sresource/%s/x%06d", g.ns2, c.Name, i))
+	}
+	g.pops[c.Name] = pop
+}
+
+// pool returns the token pool for (class, attribute), built lazily.
+func (g *generator) pool(class string, a AttributeSpec) []string {
+	key := class + "/" + a.Name1 + "/" + fmt.Sprint(a.Vocabulary)
+	if p, ok := g.pools[key]; ok {
+		return p
+	}
+	p := make([]string, a.Vocabulary)
+	for i := range p {
+		p[i] = fmt.Sprintf("%s%04x", token3(g.rng), i)
+	}
+	g.pools[key] = p
+	return p
+}
+
+func token3(rng *rand.Rand) string {
+	const syll = "kamirotasunelofazebodagi"
+	var b strings.Builder
+	for i := 0; i < 3; i++ {
+		o := 2 * rng.Intn(len(syll)/2)
+		b.WriteString(syll[o : o+2])
+	}
+	return b.String()
+}
+
+func (g *generator) phrase(pool []string, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = pool[g.rng.Intn(len(pool))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *generator) noisy(value string, a AttributeSpec, pool []string) string {
+	if a.NoiseDrop <= 0 && a.NoiseReplace <= 0 {
+		return value
+	}
+	toks := strings.Fields(value)
+	out := toks[:0:0]
+	for _, tok := range toks {
+		r := g.rng.Float64()
+		switch {
+		case r < a.NoiseDrop && len(toks) > 1:
+		case r < a.NoiseDrop+a.NoiseReplace:
+			out = append(out, pool[g.rng.Intn(len(pool))])
+		default:
+			out = append(out, tok)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, toks[0])
+	}
+	return strings.Join(out, " ")
+}
+
+func (g *generator) emit(c ClassSpec) error {
+	pop := g.pops[c.Name]
+	addAttr := func(side int, subj, pred, val string) {
+		ns := g.ns1
+		ts := &g.t1
+		if side == 2 {
+			ns = g.ns2
+			ts = &g.t2
+		}
+		*ts = append(*ts, rdf.NewTriple(rdf.NewIRI(subj), rdf.NewIRI(ns+"ontology/"+pred), rdf.NewLiteral(val)))
+	}
+	addType := func(side int, subj string) {
+		ns := g.ns1
+		ts := &g.t1
+		if side == 2 {
+			ns = g.ns2
+			ts = &g.t2
+		}
+		*ts = append(*ts, rdf.NewTriple(rdf.NewIRI(subj), rdf.NewIRI(kb.RDFType), rdf.NewIRI(ns+"class/"+c.Name)))
+	}
+	addRel := func(side int, subj, pred, obj string) {
+		ns := g.ns1
+		ts := &g.t1
+		if side == 2 {
+			ns = g.ns2
+			ts = &g.t2
+		}
+		*ts = append(*ts, rdf.NewTriple(rdf.NewIRI(subj), rdf.NewIRI(ns+"ontology/"+pred), rdf.NewIRI(obj)))
+	}
+
+	name2 := func(a AttributeSpec) string {
+		if a.Name2 != "" {
+			return a.Name2
+		}
+		return a.Name1
+	}
+	relName2 := func(r RelationSpec) string {
+		if r.Name2 != "" {
+			return r.Name2
+		}
+		return r.Name1
+	}
+
+	emitAttrs := func(u1, u2 string, matched bool) {
+		for _, a := range c.Attributes {
+			pool := g.pool(c.Name, a)
+			if u1 != "" {
+				v1 := g.phrase(pool, a.Tokens)
+				addAttr(1, u1, a.Name1, v1)
+				if matched && u2 != "" {
+					if a.Identifying {
+						addAttr(2, u2, name2(a), g.noisy(v1, a, pool))
+					} else {
+						addAttr(2, u2, name2(a), g.phrase(pool, a.Tokens))
+					}
+				}
+			}
+			if u2 != "" && (!matched || u1 == "") {
+				addAttr(2, u2, name2(a), g.phrase(pool, a.Tokens))
+			}
+		}
+	}
+	emitRels := func(u1, u2 string, matched bool) error {
+		for _, r := range c.Relations {
+			target, ok := g.pops[r.Target]
+			if !ok {
+				return fmt.Errorf("workload: class %q relation targets unknown class %q", c.Name, r.Target)
+			}
+			// Candidate target pools: matched entities keep aligned
+			// neighborhoods; without MatchedOnly, distractor targets
+			// join the pool (per KB).
+			pool1 := target.matched1
+			pool2 := target.matched2
+			if !r.MatchedOnly {
+				pool1 = append(append([]string{}, target.matched1...), target.extra1...)
+				pool2 = append(append([]string{}, target.matched2...), target.extra2...)
+			}
+			for d := 0; d < r.OutDegree; d++ {
+				if matched && u1 != "" && u2 != "" {
+					// Aligned edge: same matched target on both sides.
+					if len(target.matched1) == 0 {
+						continue
+					}
+					idx := g.rng.Intn(len(target.matched1))
+					addRel(1, u1, r.Name1, target.matched1[idx])
+					addRel(2, u2, relName2(r), target.matched2[idx])
+					continue
+				}
+				if u1 != "" && len(pool1) > 0 {
+					addRel(1, u1, r.Name1, pool1[g.rng.Intn(len(pool1))])
+				}
+				if u2 != "" && len(pool2) > 0 {
+					addRel(2, u2, relName2(r), pool2[g.rng.Intn(len(pool2))])
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := range pop.matched1 {
+		u1, u2 := pop.matched1[i], pop.matched2[i]
+		addType(1, u1)
+		addType(2, u2)
+		emitAttrs(u1, u2, true)
+		if err := emitRels(u1, u2, true); err != nil {
+			return err
+		}
+		g.gtURIs = append(g.gtURIs, [2]string{u1, u2})
+	}
+	for _, u1 := range pop.extra1 {
+		addType(1, u1)
+		emitAttrs(u1, "", false)
+		if err := emitRels(u1, "", false); err != nil {
+			return err
+		}
+	}
+	for _, u2 := range pop.extra2 {
+		addType(2, u2)
+		emitAttrs("", u2, false)
+		if err := emitRels("", u2, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"minoaner/internal/core"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+func simpleSpec() Spec {
+	return Spec{
+		Name: "simple",
+		Seed: 7,
+		Classes: []ClassSpec{
+			{
+				Name:    "item",
+				Matched: 40,
+				Extra1:  10,
+				Extra2:  60,
+				Attributes: []AttributeSpec{
+					{Name1: "name", Name2: "label", Tokens: 3, Vocabulary: 5000, Identifying: true},
+					{Name1: "note", Name2: "remark", Tokens: 4, Vocabulary: 200},
+				},
+			},
+		},
+	}
+}
+
+func TestGenerateBasic(t *testing.T) {
+	ds, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.KB1.Len() != 50 || ds.KB2.Len() != 100 {
+		t.Errorf("populations = %d/%d, want 50/100", ds.KB1.Len(), ds.KB2.Len())
+	}
+	if ds.GT.Len() != 40 {
+		t.Errorf("ground truth = %d, want 40", ds.GT.Len())
+	}
+	if ds.KB1.NumAttributes() != 2 || ds.KB2.NumAttributes() != 2 {
+		t.Errorf("attributes = %d/%d", ds.KB1.NumAttributes(), ds.KB2.NumAttributes())
+	}
+	if ds.KB1.NumTypes() != 1 {
+		t.Errorf("types = %d", ds.KB1.NumTypes())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KB1.Len() != b.KB1.Len() || a.GT.Len() != b.GT.Len() {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := 0; i < a.KB1.Len(); i++ {
+		if a.KB1.URI(kb.EntityID(i)) != b.KB1.URI(kb.EntityID(i)) {
+			t.Fatalf("URI %d differs", i)
+		}
+	}
+}
+
+func TestGenerateResolvable(t *testing.T) {
+	ds, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMatcher(ds.KB1, ds.KB2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	metrics := eval.Evaluate(res.Matches, ds.GT)
+	if metrics.F1 < 0.9 {
+		t.Errorf("clean workload F1 = %v", metrics)
+	}
+}
+
+func TestNoiseKnobDegradesValueEvidence(t *testing.T) {
+	clean := simpleSpec()
+	noisy := simpleSpec()
+	noisy.Classes[0].Attributes[0].NoiseDrop = 0.4
+	noisy.Classes[0].Attributes[0].NoiseReplace = 0.3
+
+	run := func(spec Spec) float64 {
+		ds, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.DisableH3 = true // isolate name+value evidence
+		m, err := core.NewMatcher(ds.KB1, ds.KB2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eval.Evaluate(m.Run().Matches, ds.GT).F1
+	}
+	if fClean, fNoisy := run(clean), run(noisy); fNoisy >= fClean {
+		t.Errorf("noise knob had no effect: clean %.3f vs noisy %.3f", fClean, fNoisy)
+	}
+}
+
+func TestRelationsProduceNeighborEvidence(t *testing.T) {
+	spec := Spec{
+		Name: "relational",
+		Seed: 3,
+		Classes: []ClassSpec{
+			{
+				Name:    "person",
+				Matched: 30,
+				Attributes: []AttributeSpec{
+					{Name1: "name", Tokens: 2, Vocabulary: 4000, Identifying: true},
+				},
+			},
+			{
+				Name:    "doc",
+				Matched: 50,
+				Attributes: []AttributeSpec{
+					// Heavy noise: values alone cannot resolve docs.
+					{Name1: "title", Name2: "heading", Tokens: 4, Vocabulary: 60, Identifying: true, NoiseDrop: 0.3},
+				},
+				Relations: []RelationSpec{
+					{Name1: "author", Name2: "creator", Target: "person", OutDegree: 2, MatchedOnly: true},
+				},
+			},
+		},
+	}
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.KB1.NumRelations() != 1 || ds.KB2.NumRelations() != 1 {
+		t.Fatalf("relations = %d/%d", ds.KB1.NumRelations(), ds.KB2.NumRelations())
+	}
+	withH3 := core.DefaultConfig()
+	withoutH3 := core.DefaultConfig()
+	withoutH3.DisableH3 = true
+	run := func(cfg core.Config) float64 {
+		m, err := core.NewMatcher(ds.KB1, ds.KB2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eval.Evaluate(m.Run().Matches, ds.GT).F1
+	}
+	if a, b := run(withH3), run(withoutH3); a <= b {
+		t.Errorf("neighbor evidence did not help: with H3 %.3f vs without %.3f", a, b)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Spec{
+		{Name: "empty"},
+		{Name: "noname", Classes: []ClassSpec{{}}},
+		{Name: "negpop", Classes: []ClassSpec{{Name: "x", Matched: -1}}},
+		{Name: "badattr", Classes: []ClassSpec{{Name: "x", Attributes: []AttributeSpec{{}}}}},
+		{Name: "badvocab", Classes: []ClassSpec{{Name: "x", Attributes: []AttributeSpec{{Name1: "a", Tokens: 1}}}}},
+		{Name: "badrel", Classes: []ClassSpec{{
+			Name: "x", Matched: 1,
+			Attributes: []AttributeSpec{{Name1: "a", Tokens: 1, Vocabulary: 10}},
+			Relations:  []RelationSpec{{Name1: "r", Target: "nope", OutDegree: 1}},
+		}}},
+	}
+	for _, spec := range cases {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %q accepted", spec.Name)
+		}
+	}
+}
