@@ -6,6 +6,7 @@
 //	benchtables -table 3          # Table III (method comparison)
 //	benchtables -table all        # everything
 //	benchtables -ablations        # MinoanER ablation study
+//	benchtables -json BENCH_pipeline.json   # per-stage pipeline timings
 //
 // Absolute numbers differ from the paper (the substrates are synthetic
 // stand-ins; see DESIGN.md §2); the comparative shapes are the
@@ -13,16 +14,71 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"minoaner/internal/core"
 	"minoaner/internal/datagen"
 	"minoaner/internal/experiments"
 )
+
+// stageBenchJSON is one stage's cost within a dataset's pipeline run.
+type stageBenchJSON struct {
+	Stage      string `json:"stage"`
+	Nanos      int64  `json:"ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// datasetBenchJSON is the per-stage timing profile of one benchmark.
+type datasetBenchJSON struct {
+	Name      string           `json:"name"`
+	Matches   int              `json:"matches"`
+	TotalNano int64            `json:"total_ns"`
+	Stages    []stageBenchJSON `json:"stages"`
+}
+
+// pipelineBenchJSON is the BENCH_pipeline.json document: the per-stage
+// instrumentation of a default-configuration MinoanER run on every
+// synthetic benchmark, seeding the performance trajectory.
+type pipelineBenchJSON struct {
+	Seed     int64              `json:"seed"`
+	Scale    float64            `json:"scale"`
+	Workers  int                `json:"workers"`
+	Datasets []datasetBenchJSON `json:"datasets"`
+}
+
+func writePipelineBench(path string, datasets []*datagen.Dataset, seed int64, scale float64) error {
+	doc := pipelineBenchJSON{Seed: seed, Scale: scale, Workers: runtime.GOMAXPROCS(0)}
+	for _, ds := range datasets {
+		m, err := core.NewMatcher(ds.KB1, ds.KB2, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		m.CollectAllocStats(true)
+		res := m.Run()
+		entry := datasetBenchJSON{Name: ds.Name, Matches: len(res.Matches)}
+		for _, s := range res.Stages {
+			entry.Stages = append(entry.Stages, stageBenchJSON{
+				Stage:      s.Stage,
+				Nanos:      s.Duration.Nanoseconds(),
+				AllocBytes: s.AllocBytes,
+			})
+			entry.TotalNano += s.Duration.Nanoseconds()
+		}
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +92,7 @@ func main() {
 		scale         = flag.Float64("scale", 1.0, "dataset size multiplier")
 		methods       = flag.String("methods", "", "comma-separated subset of methods for table 3 (default: all)")
 		timing        = flag.Bool("timing", true, "print per-step wall-clock timings to stderr")
+		jsonPath      = flag.String("json", "", "write per-stage MinoanER pipeline timings to this JSON file (e.g. BENCH_pipeline.json) instead of the paper tables")
 	)
 	flag.Parse()
 
@@ -48,6 +105,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datasets generated in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	if *jsonPath != "" {
+		t0 := time.Now()
+		if err := writePipelineBench(*jsonPath, datasets, *seed, *scale); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "pipeline bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *jsonPath)
+		}
+		return
+	}
 	if *ablations {
 		t0 := time.Now()
 		if err := experiments.AblationTable(datasets).Render(os.Stdout); err != nil {

@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	"minoaner"
 )
@@ -35,6 +39,7 @@ func main() {
 		noH4    = flag.Bool("no-h4", false, "disable the reciprocity filter")
 		quiet   = flag.Bool("quiet", false, "suppress the match listing")
 		cache   = flag.Bool("cache", false, "cache parsed KBs next to the input as <file>.mkb and reuse them")
+		verbose = flag.Bool("v", false, "print per-stage progress and timings to stderr")
 	)
 	flag.Parse()
 	if *kb1Path == "" || *kb2Path == "" {
@@ -68,7 +73,29 @@ func main() {
 	cfg.DisableH3 = *noH3
 	cfg.DisableH4 = *noH4
 
-	res, err := minoaner.Resolve(kb1, kb2, cfg)
+	// Ctrl-C cancels the run between pipeline stages and inside the
+	// parallel candidate loops. The handler uninstalls itself once the
+	// first signal fires, so a second Ctrl-C kills the process outright
+	// even if a stage without internal cancellation checks is running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	var opts []minoaner.ResolveOption
+	if *verbose {
+		opts = append(opts, minoaner.WithProgress(func(p minoaner.StageProgress) {
+			if !p.Done {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "stage %2d/%d %-20s %12v %10.1f MB\n",
+				p.Index+1, p.Total, p.Stage, p.Timing.Duration.Round(10*time.Microsecond),
+				float64(p.Timing.AllocBytes)/(1<<20))
+		}))
+	}
+	res, err := minoaner.ResolveContext(ctx, kb1, kb2, cfg, opts...)
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module minoaner
+
+go 1.24

@@ -11,7 +11,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/cluster"
@@ -132,12 +131,7 @@ func candidatePairs(kb1, kb2 *kb.KB, cfg Config) []eval.Pair {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].E1 != out[j].E1 {
-			return out[i].E1 < out[j].E1
-		}
-		return out[i].E2 < out[j].E2
-	})
+	eval.SortPairs(out)
 	return out
 }
 

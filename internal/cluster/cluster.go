@@ -48,10 +48,7 @@ func UniqueMappingScored(pairs []ScoredPair, threshold float64) []ScoredPair {
 		if a.Score != b.Score {
 			return a.Score > b.Score
 		}
-		if a.E1 != b.E1 {
-			return a.E1 < b.E1
-		}
-		return a.E2 < b.E2
+		return (eval.Pair{E1: a.E1, E2: a.E2}).Less(eval.Pair{E1: b.E1, E2: b.E2})
 	})
 	matched1 := make(map[kb.EntityID]struct{})
 	matched2 := make(map[kb.EntityID]struct{})

@@ -8,9 +8,9 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 
 	"minoaner/internal/blocking"
+	"minoaner/internal/pipeline"
 )
 
 // Config carries the four MinoanER parameters plus engineering knobs.
@@ -81,9 +81,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// params projects the configuration onto the pipeline's parameter set.
+// The Disable flags are deliberately absent: they are realized as plan
+// edits by Matcher.Plan, not as stage-level switches.
+func (c Config) params() pipeline.Params {
+	return pipeline.Params{
+		K:       c.K,
+		N:       c.N,
+		NameK:   c.NameK,
+		Theta:   c.Theta,
+		Purge:   c.Purge,
+		Workers: c.Workers,
 	}
-	return runtime.GOMAXPROCS(0)
 }

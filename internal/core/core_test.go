@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"reflect"
 	"testing"
 
@@ -378,99 +377,6 @@ func TestNoRelationsStillMatches(t *testing.T) {
 	if len(res.Matches) != 2 {
 		t.Errorf("matches = %v", res.Matches)
 	}
-}
-
-func TestAggregateRanks(t *testing.T) {
-	value := []Cand{{ID: 10, Sim: 0.9}, {ID: 20, Sim: 0.5}}
-	neighbor := []Cand{{ID: 20, Sim: 3.0}, {ID: 30, Sim: 1.0}}
-	noskip := func(kb.EntityID) bool { return false }
-	// θ=0.6: 10 → 0.6*1.0 = 0.6; 20 → 0.6*0.5 + 0.4*1.0 = 0.7; 30 → 0.4*0.5=0.2.
-	best, ok := aggregateRanks(value, neighbor, 0.6, noskip)
-	if !ok || best != 20 {
-		t.Errorf("best = %d, want 20", best)
-	}
-	// θ high → value list dominates.
-	best, _ = aggregateRanks(value, neighbor, 0.9, noskip)
-	if best != 10 {
-		t.Errorf("best = %d, want 10 at θ=0.9", best)
-	}
-	// Empty evidence.
-	if _, ok := aggregateRanks(nil, nil, 0.6, noskip); ok {
-		t.Error("aggregateRanks on empty lists returned ok")
-	}
-	// Skip filter removes the winner.
-	best, ok = aggregateRanks(value, neighbor, 0.6, func(id kb.EntityID) bool { return id == 20 })
-	if !ok || best != 10 {
-		t.Errorf("best = %d, want 10 after skipping 20", best)
-	}
-}
-
-func TestAggregateRanksZeroSims(t *testing.T) {
-	value := []Cand{{ID: 1, Sim: 0}}
-	if _, ok := aggregateRanks(value, nil, 0.6, func(kb.EntityID) bool { return false }); ok {
-		t.Error("zero-similarity candidates must be ignored")
-	}
-}
-
-func TestAccumulatorTopK(t *testing.T) {
-	acc := newAccumulator(10)
-	acc.add(3, 1.0)
-	acc.add(5, 2.0)
-	acc.add(3, 0.5)
-	acc.add(7, 2.0)
-	top := acc.topK(2)
-	// 5 and 7 tie at 2.0; ascending ID breaks the tie.
-	want := []Cand{{ID: 5, Sim: 2.0}, {ID: 7, Sim: 2.0}}
-	if !reflect.DeepEqual(top, want) {
-		t.Errorf("topK = %v, want %v", top, want)
-	}
-	acc.reset()
-	if got := acc.topK(2); got != nil {
-		t.Errorf("after reset topK = %v", got)
-	}
-	// Reuse after reset.
-	acc.add(1, 1.5)
-	if got := acc.topK(5); len(got) != 1 || got[0].ID != 1 || math.Abs(got[0].Sim-1.5) > 1e-12 {
-		t.Errorf("reused accumulator wrong: %v", got)
-	}
-}
-
-func TestTokenWeights(t *testing.T) {
-	c := blocking.NewCollection(4, 4)
-	c.Blocks = append(c.Blocks,
-		blocking.Block{Key: "rare", E1: []kb.EntityID{0}, E2: []kb.EntityID{0}},
-		blocking.Block{Key: "mid", E1: []kb.EntityID{0, 1}, E2: []kb.EntityID{0, 1}},
-	)
-	w := tokenWeights(c)
-	if math.Abs(w[0]-1) > 1e-12 {
-		t.Errorf("rare weight = %f, want 1", w[0])
-	}
-	if want := 1 / math.Log2(5); math.Abs(w[1]-want) > 1e-12 {
-		t.Errorf("mid weight = %f, want %f", w[1], want)
-	}
-	if w[0] <= w[1] {
-		t.Error("rarer token must weigh more")
-	}
-}
-
-func TestParallelForCoversAll(t *testing.T) {
-	for _, workers := range []int{1, 2, 3, 7, 100} {
-		n := 57
-		covered := make([]int32, n)
-		parallelFor(n, workers, func(worker, start, end int) {
-			for i := start; i < end; i++ {
-				covered[i]++
-			}
-		})
-		for i, c := range covered {
-			if c != 1 {
-				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
-			}
-		}
-	}
-	parallelFor(0, 4, func(worker, start, end int) {
-		t.Error("work called for n=0")
-	})
 }
 
 func TestBlockStatsExposed(t *testing.T) {

@@ -196,19 +196,3 @@ func TestRandomizedInvariants(t *testing.T) {
 		}
 	}
 }
-
-// TestThetaExtremesChangeH3 verifies θ actually shifts the rank
-// aggregation's preference.
-func TestThetaExtremesChangeH3(t *testing.T) {
-	value := []Cand{{ID: 1, Sim: 5}, {ID: 2, Sim: 4}}
-	neighbor := []Cand{{ID: 2, Sim: 9}, {ID: 1, Sim: 1}}
-	noskip := func(kb.EntityID) bool { return false }
-	lowTheta, _ := aggregateRanks(value, neighbor, 0.01, noskip)
-	highTheta, _ := aggregateRanks(value, neighbor, 0.99, noskip)
-	if lowTheta != 2 {
-		t.Errorf("θ→0 should follow neighbors: got %d", lowTheta)
-	}
-	if highTheta != 1 {
-		t.Errorf("θ→1 should follow values: got %d", highTheta)
-	}
-}

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"sort"
+	"context"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
+	"minoaner/internal/pipeline"
 )
 
 // Result reports the matches and the per-stage accounting of one
@@ -25,12 +26,20 @@ type Result struct {
 	NameComparisons, TokenComparisons int64
 	// Purge describes what Block Purging removed from B_T.
 	Purge blocking.PurgeResult
+	// Stages holds the per-stage wall-clock and allocation statistics of
+	// the executed plan, in plan order.
+	Stages []pipeline.StageStat
 }
 
-// Matcher runs the MinoanER process for one pair of KBs.
+// Matcher plans and runs the MinoanER process for one pair of KBs. It
+// is a thin builder over internal/pipeline: the matching flow itself
+// lives in the stages; Matcher only assembles the plan its
+// configuration calls for and translates the final State into a
+// Result.
 type Matcher struct {
-	kb1, kb2 *kb.KB
-	cfg      Config
+	kb1, kb2   *kb.KB
+	cfg        Config
+	allocStats bool
 }
 
 // NewMatcher validates the configuration and prepares a matcher.
@@ -41,236 +50,74 @@ func NewMatcher(kb1, kb2 *kb.KB, cfg Config) (*Matcher, error) {
 	return &Matcher{kb1: kb1, kb2: kb2, cfg: cfg}, nil
 }
 
+// Plan returns the stage plan Run executes: the full MinoanER
+// composition with the stages switched off by the Disable flags
+// dropped. Callers may edit the returned plan (pipeline.Drop,
+// pipeline.Replace, pipeline.Until) before passing it to RunPlan.
+func (m *Matcher) Plan() []pipeline.Stage {
+	plan := pipeline.DefaultPlan()
+	if m.cfg.DisableH1 {
+		plan = pipeline.Drop(plan, pipeline.StageNameMatching)
+	}
+	if m.cfg.DisableH2 {
+		plan = pipeline.Drop(plan, pipeline.StageValueMatching)
+	}
+	if m.cfg.DisableH3 {
+		plan = pipeline.Drop(plan, pipeline.StageRankAggregation)
+	}
+	if m.cfg.DisableH4 {
+		plan = pipeline.Drop(plan, pipeline.StageReciprocity)
+	}
+	return plan
+}
+
 // Run executes the non-iterative matching process. It is deterministic:
 // identical inputs produce identical results at any worker count.
 func (m *Matcher) Run() *Result {
-	res := &Result{}
-	cfg := m.cfg
-	workers := cfg.workers()
-
-	// --- Blocking ---------------------------------------------------
-	bn := blocking.NameBlocks(m.kb1, m.kb2, cfg.NameK)
-	res.NameBlockCount = bn.Size()
-	res.NameComparisons = bn.Comparisons()
-
-	bt := blocking.TokenBlocks(m.kb1, m.kb2)
-	bt, res.Purge = blocking.Purge(bt, cfg.Purge)
-	res.TokenBlockCount = bt.Size()
-	res.TokenComparisons = bt.Comparisons()
-	idx := bt.BuildIndex()
-
-	// --- H1: name heuristic ------------------------------------------
-	// A name block holding exactly one entity from each KB declares a
-	// match: the two entities — and only they — share that name.
-	h1map1 := make(map[kb.EntityID]kb.EntityID)
-	h1map2 := make(map[kb.EntityID]kb.EntityID)
-	if !cfg.DisableH1 {
-		for i := range bn.Blocks {
-			b := &bn.Blocks[i]
-			if len(b.E1) != 1 || len(b.E2) != 1 {
-				continue
-			}
-			e1, e2 := b.E1[0], b.E2[0]
-			if _, taken := h1map1[e1]; taken {
-				continue
-			}
-			if _, taken := h1map2[e2]; taken {
-				continue
-			}
-			h1map1[e1] = e2
-			h1map2[e2] = e1
-			res.H1 = append(res.H1, eval.Pair{E1: e1, E2: e2})
-		}
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		// The default plan cannot fail on its own and the background
+		// context is never cancelled.
+		panic(err)
 	}
-
-	// --- Evidence: value and neighbor candidates ---------------------
-	weights := tokenWeights(bt)
-	vc1, vc2 := valueCandidates(bt, idx, weights, cfg.K, workers)
-	nc1, nc2 := neighborCandidates(m.kb1, m.kb2, vc1, vc2, cfg.N, cfg.K, workers)
-	ev1 := &candidateEvidence{value: vc1, neighbor: nc1}
-	ev2 := &candidateEvidence{value: vc2, neighbor: nc2}
-
-	// Matching decisions are emitted for the smaller KB's entities, as
-	// in the paper ("every entity e_i of the smaller in size KB"). The
-	// evidence of the other side still feeds H4's reciprocity check.
-	swap := m.kb2.Len() < m.kb1.Len()
-	evA := ev1
-	h1A := h1map1
-	h1B := h1map2
-	sizeA := m.kb1.Len()
-	if swap {
-		evA = ev2
-		h1A, h1B = h1map2, h1map1
-		sizeA = m.kb2.Len()
-	}
-	emit := func(a, b kb.EntityID) eval.Pair {
-		if swap {
-			return eval.Pair{E1: b, E2: a}
-		}
-		return eval.Pair{E1: a, E2: b}
-	}
-
-	// --- H2: value heuristic ------------------------------------------
-	// For each yet-unmatched entity, its strongest co-occurring
-	// candidate wins if the value similarity reaches 1 — many common,
-	// infrequent tokens.
-	h2A := make(map[kb.EntityID]struct{})
-	h2B := make(map[kb.EntityID]struct{})
-	if !cfg.DisableH2 {
-		for e := 0; e < sizeA; e++ {
-			ea := kb.EntityID(e)
-			if _, done := h1A[ea]; done {
-				continue
-			}
-			best, ok := firstEligible(evA.value[ea], h1B)
-			if !ok || best.Sim < 1 {
-				continue
-			}
-			res.H2 = append(res.H2, emit(ea, best.ID))
-			h2A[ea] = struct{}{}
-			h2B[best.ID] = struct{}{}
-		}
-	}
-
-	// --- H3: rank aggregation -----------------------------------------
-	// Remaining entities match their top-1 candidate under the
-	// θ-weighted sum of normalized value and neighbor ranks.
-	if !cfg.DisableH3 {
-		for e := 0; e < sizeA; e++ {
-			ea := kb.EntityID(e)
-			if _, done := h1A[ea]; done {
-				continue
-			}
-			if _, done := h2A[ea]; done {
-				continue
-			}
-			skip := func(id kb.EntityID) bool {
-				if _, t := h1B[id]; t {
-					return true
-				}
-				_, t := h2B[id]
-				return t
-			}
-			best, ok := aggregateRanks(evA.value[ea], evA.neighbor[ea], cfg.Theta, skip)
-			if !ok {
-				continue
-			}
-			res.H3 = append(res.H3, emit(ea, best))
-		}
-	}
-
-	// --- H4: reciprocity ------------------------------------------------
-	// A pair survives only if each entity lists the other among its
-	// top-K value or neighbor candidates.
-	union := dedupPairs(append(append(append([]eval.Pair{}, res.H1...), res.H2...), res.H3...))
-	if cfg.DisableH4 {
-		res.Matches = union
-	} else {
-		for _, p := range union {
-			if reciprocal(ev1, ev2, p) {
-				res.Matches = append(res.Matches, p)
-			} else {
-				res.DiscardedByH4++
-			}
-		}
-	}
-	sortPairs(res.Matches)
 	return res
 }
 
-// firstEligible returns the best candidate not already claimed by H1.
-func firstEligible(cands []Cand, h1Taken map[kb.EntityID]kb.EntityID) (Cand, bool) {
-	for _, c := range cands {
-		if _, taken := h1Taken[c.ID]; taken {
-			continue
-		}
-		return c, true
-	}
-	return Cand{}, false
+// RunContext executes the configured plan under a context. A cancelled
+// context aborts between stages and inside the parallel candidate
+// loops, returning ctx.Err() and no Result.
+func (m *Matcher) RunContext(ctx context.Context) (*Result, error) {
+	return m.RunPlan(ctx, m.Plan(), nil)
 }
 
-// aggregateRanks implements H3's threshold-free rank aggregation. Both
-// lists are already sorted by descending similarity; the candidate at
-// position i of a list of size L receives normalized rank (L-i)/L, and
-// candidates absent from a list receive 0 for it. The aggregate score
-// is θ·valueRank + (1-θ)·neighborRank; the top-1 candidate wins (ties
-// by ascending ID).
-func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID) bool) (kb.EntityID, bool) {
-	scores := make(map[kb.EntityID]float64, len(value)+len(neighbor))
-	addList := func(list []Cand, w float64) {
-		eligible := make([]Cand, 0, len(list))
-		for _, c := range list {
-			if c.Sim <= 0 || skip(c.ID) {
-				continue
-			}
-			eligible = append(eligible, c)
-		}
-		l := float64(len(eligible))
-		for i, c := range eligible {
-			scores[c.ID] += w * (l - float64(i)) / l
-		}
-	}
-	addList(value, theta)
-	addList(neighbor, 1-theta)
-	if len(scores) == 0 {
-		return 0, false
-	}
-	var best kb.EntityID
-	bestScore := -1.0
-	ids := make([]kb.EntityID, 0, len(scores))
-	for id := range scores {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if s := scores[id]; s > bestScore {
-			bestScore = s
-			best = id
-		}
-	}
-	return best, true
-}
+// CollectAllocStats makes subsequent runs record per-stage allocation
+// deltas in Result.Stages (two runtime.ReadMemStats calls per stage —
+// measurable on large live heaps, so off by default). Runs observed
+// through a progress callback always record them.
+func (m *Matcher) CollectAllocStats(on bool) { m.allocStats = on }
 
-// reciprocal implements H4: e2 must appear in e1's top-K value or
-// neighbor candidates, and vice versa.
-func reciprocal(ev1, ev2 *candidateEvidence, p eval.Pair) bool {
-	return contains(ev1.value[p.E1], ev1.neighbor[p.E1], p.E2) &&
-		contains(ev2.value[p.E2], ev2.neighbor[p.E2], p.E1)
-}
-
-func contains(value, neighbor []Cand, id kb.EntityID) bool {
-	for _, c := range value {
-		if c.ID == id {
-			return true
-		}
+// RunPlan executes an arbitrary stage plan, reporting stage boundaries
+// to the optional progress callback. Plans are typically Plan() output
+// edited with the pipeline helpers; preconditions between stages are
+// validated by the stages themselves.
+func (m *Matcher) RunPlan(ctx context.Context, plan []pipeline.Stage, progress pipeline.Progress) (*Result, error) {
+	st := pipeline.NewState(m.kb1, m.kb2, m.cfg.params())
+	eng := pipeline.Engine{Plan: plan, Progress: progress, AllocStats: m.allocStats || progress != nil}
+	stats, err := eng.Run(ctx, st)
+	if err != nil {
+		return nil, err
 	}
-	for _, c := range neighbor {
-		if c.ID == id {
-			return true
-		}
-	}
-	return false
-}
-
-func dedupPairs(pairs []eval.Pair) []eval.Pair {
-	seen := make(map[eval.Pair]struct{}, len(pairs))
-	out := pairs[:0]
-	for _, p := range pairs {
-		if _, dup := seen[p]; dup {
-			continue
-		}
-		seen[p] = struct{}{}
-		out = append(out, p)
-	}
-	sortPairs(out)
-	return out
-}
-
-func sortPairs(pairs []eval.Pair) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].E1 != pairs[j].E1 {
-			return pairs[i].E1 < pairs[j].E1
-		}
-		return pairs[i].E2 < pairs[j].E2
-	})
+	return &Result{
+		Matches:          st.Matches,
+		H1:               st.H1,
+		H2:               st.H2,
+		H3:               st.H3,
+		DiscardedByH4:    st.DiscardedByH4,
+		NameBlockCount:   st.NameBlockCount,
+		TokenBlockCount:  st.TokenBlockCount,
+		NameComparisons:  st.NameComparisons,
+		TokenComparisons: st.TokenComparisons,
+		Purge:            st.PurgeStats,
+		Stages:           stats,
+	}, nil
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/pipeline"
+)
+
+// TestPlanEditsMatchDisableFlags: dropping a heuristic stage from the
+// default plan is exactly the corresponding Disable flag.
+func TestPlanEditsMatchDisableFlags(t *testing.T) {
+	ds := goldenDatasets(t)[2] // BBCmusic-DBpedia: all heuristics contribute
+	cases := []struct {
+		name  string
+		flag  func(*Config)
+		stage string
+	}{
+		{"H1", func(c *Config) { c.DisableH1 = true }, pipeline.StageNameMatching},
+		{"H2", func(c *Config) { c.DisableH2 = true }, pipeline.StageValueMatching},
+		{"H3", func(c *Config) { c.DisableH3 = true }, pipeline.StageRankAggregation},
+		{"H4", func(c *Config) { c.DisableH4 = true }, pipeline.StageReciprocity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flagged := DefaultConfig()
+			tc.flag(&flagged)
+			mf, err := NewMatcher(ds.KB1, ds.KB2, flagged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byFlag := mf.Run()
+
+			mp, err := NewMatcher(ds.KB1, ds.KB2, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			byEdit, err := mp.RunPlan(context.Background(), pipeline.Drop(mp.Plan(), tc.stage), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePairs(byFlag.Matches, byEdit.Matches) {
+				t.Errorf("Disable%s (%d matches) != Drop(%s) (%d matches)",
+					tc.name, len(byFlag.Matches), tc.stage, len(byEdit.Matches))
+			}
+			if byFlag.DiscardedByH4 != byEdit.DiscardedByH4 {
+				t.Errorf("DiscardedByH4: flag %d, edit %d", byFlag.DiscardedByH4, byEdit.DiscardedByH4)
+			}
+		})
+	}
+}
+
+// TestPlanReflectsFlags: the plan builder drops exactly the stages the
+// flags disable.
+func TestPlanReflectsFlags(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableH2 = true
+	cfg.DisableH4 = true
+	kb1, kb2 := nameKBs(t)
+	m, err := NewMatcher(kb1, kb2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pipeline.Names(m.Plan())
+	want := pipeline.Names(pipeline.Drop(pipeline.DefaultPlan(),
+		pipeline.StageValueMatching, pipeline.StageReciprocity))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("plan = %v, want %v", got, want)
+	}
+}
+
+// TestRunContextCancelled: a pre-cancelled context returns promptly
+// with no Result.
+func TestRunContextCancelled(t *testing.T) {
+	kb1, kb2 := nameKBs(t)
+	m, err := NewMatcher(kb1, kb2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a Result")
+	}
+}
+
+// TestStageStatsOnResult: every executed run reports one stat per
+// planned stage.
+func TestStageStatsOnResult(t *testing.T) {
+	kb1, kb2 := nameKBs(t)
+	m, err := NewMatcher(kb1, kb2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Stages) != len(m.Plan()) {
+		t.Fatalf("stats for %d stages, plan has %d", len(res.Stages), len(m.Plan()))
+	}
+	for i, s := range res.Stages {
+		if s.Stage != m.Plan()[i].Name() {
+			t.Errorf("stat %d = %q, want %q", i, s.Stage, m.Plan()[i].Name())
+		}
+	}
+}

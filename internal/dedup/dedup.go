@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"minoaner/internal/eval"
 	"minoaner/internal/kb"
 )
 
@@ -107,12 +108,7 @@ func Run(k *kb.KB, cfg Config) *Result {
 		}
 		touched = touched[:0]
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
-	})
+	eval.SortPairsBy(pairs, func(p Pair) eval.Pair { return eval.Pair{E1: p.A, E2: p.B} })
 
 	return &Result{Pairs: pairs, Clusters: clusterize(pairs, k.Len())}
 }

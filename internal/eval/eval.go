@@ -25,6 +25,42 @@ type Pair struct {
 	E2 kb.EntityID
 }
 
+// Less reports whether p precedes q in the canonical (E1, E2) order.
+func (p Pair) Less(q Pair) bool {
+	if p.E1 != q.E1 {
+		return p.E1 < q.E1
+	}
+	return p.E2 < q.E2
+}
+
+// SortPairs orders pairs in the canonical (E1, E2) order every layer
+// reports matches in.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+}
+
+// DedupPairs removes duplicate pairs in place and returns the slice
+// sorted in canonical order.
+func DedupPairs(pairs []Pair) []Pair {
+	seen := make(map[Pair]struct{}, len(pairs))
+	out := pairs[:0]
+	for _, p := range pairs {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	SortPairs(out)
+	return out
+}
+
+// SortPairsBy orders any slice by the canonical (E1, E2) order of the
+// pair each element maps to.
+func SortPairsBy[T any](s []T, pair func(T) Pair) {
+	sort.Slice(s, func(i, j int) bool { return pair(s[i]).Less(pair(s[j])) })
+}
+
 // GroundTruth is a clean-clean ER ground truth: a partial 1-1 mapping
 // between the entities of two KBs.
 type GroundTruth struct {
@@ -81,12 +117,7 @@ func (g *GroundTruth) Pairs() []Pair {
 	for e1, e2 := range g.m1 {
 		out = append(out, Pair{e1, e2})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].E1 != out[j].E1 {
-			return out[i].E1 < out[j].E1
-		}
-		return out[i].E2 < out[j].E2
-	})
+	SortPairs(out)
 	return out
 }
 

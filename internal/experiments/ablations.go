@@ -1,40 +1,52 @@
 package experiments
 
 import (
-	"minoaner/internal/blocking"
+	"context"
+
 	"minoaner/internal/core"
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
+	"minoaner/internal/pipeline"
 )
 
-// Variant is one MinoanER configuration under ablation.
+// Variant is one MinoanER configuration under ablation. Structural
+// ablations (a heuristic off, purging replaced) are expressed as plan
+// edits over the default stage plan; parameter sweeps (θ, K, N) stay
+// configuration changes. Edit may be nil for the unmodified plan.
 type Variant struct {
 	Name   string
 	Config core.Config
+	Edit   func([]pipeline.Stage) []pipeline.Stage
 }
 
 // Variants enumerates the ablations of the design choices DESIGN.md
-// calls out: each heuristic switched off, the θ trade-off swept, the
-// candidate-list depth K varied, and Block Purging replaced or
-// disabled.
+// calls out: each heuristic stage dropped from the plan, the θ
+// trade-off swept, the candidate-list depth K varied, and Block
+// Purging replaced by the keep-everything stage.
 func Variants() []Variant {
-	mk := func(name string, mut func(*core.Config)) Variant {
-		cfg := core.DefaultConfig()
-		mut(&cfg)
-		return Variant{Name: name, Config: cfg}
+	cfg := func(mut func(*core.Config)) core.Config {
+		c := core.DefaultConfig()
+		mut(&c)
+		return c
+	}
+	def := core.DefaultConfig()
+	drop := func(stage string) func([]pipeline.Stage) []pipeline.Stage {
+		return func(plan []pipeline.Stage) []pipeline.Stage { return pipeline.Drop(plan, stage) }
 	}
 	return []Variant{
-		mk("full", func(c *core.Config) {}),
-		mk("no-H1", func(c *core.Config) { c.DisableH1 = true }),
-		mk("no-H2", func(c *core.Config) { c.DisableH2 = true }),
-		mk("no-H3", func(c *core.Config) { c.DisableH3 = true }),
-		mk("no-H4", func(c *core.Config) { c.DisableH4 = true }),
-		mk("theta=0.2", func(c *core.Config) { c.Theta = 0.2 }),
-		mk("theta=0.8", func(c *core.Config) { c.Theta = 0.8 }),
-		mk("K=5", func(c *core.Config) { c.K = 5 }),
-		mk("K=30", func(c *core.Config) { c.K = 30 }),
-		mk("N=1", func(c *core.Config) { c.N = 1 }),
-		mk("no-purge", func(c *core.Config) { c.Purge = blocking.NoPurge() }),
+		{Name: "full", Config: def},
+		{Name: "no-H1", Config: def, Edit: drop(pipeline.StageNameMatching)},
+		{Name: "no-H2", Config: def, Edit: drop(pipeline.StageValueMatching)},
+		{Name: "no-H3", Config: def, Edit: drop(pipeline.StageRankAggregation)},
+		{Name: "no-H4", Config: def, Edit: drop(pipeline.StageReciprocity)},
+		{Name: "theta=0.2", Config: cfg(func(c *core.Config) { c.Theta = 0.2 })},
+		{Name: "theta=0.8", Config: cfg(func(c *core.Config) { c.Theta = 0.8 })},
+		{Name: "K=5", Config: cfg(func(c *core.Config) { c.K = 5 })},
+		{Name: "K=30", Config: cfg(func(c *core.Config) { c.K = 30 })},
+		{Name: "N=1", Config: cfg(func(c *core.Config) { c.N = 1 })},
+		{Name: "no-purge", Config: def, Edit: func(plan []pipeline.Stage) []pipeline.Stage {
+			return pipeline.Replace(plan, pipeline.StageBlockPurging, pipeline.KeepAllBlocks())
+		}},
 	}
 }
 
@@ -44,7 +56,15 @@ func RunVariant(ds *datagen.Dataset, v Variant) eval.Metrics {
 	if err != nil {
 		panic(err) // Variants produces valid configs only
 	}
-	return eval.Evaluate(m.Run().Matches, ds.GT)
+	plan := m.Plan()
+	if v.Edit != nil {
+		plan = v.Edit(plan)
+	}
+	res, err := m.RunPlan(context.Background(), plan, nil)
+	if err != nil {
+		panic(err) // edited default plans cannot fail without cancellation
+	}
+	return eval.Evaluate(res.Matches, ds.GT)
 }
 
 // AblationTable reports F1 per variant per dataset.

@@ -258,16 +258,13 @@ func (g *Graph) pruneCEP() []eval.Pair {
 		if sorted[i].Weight != sorted[j].Weight {
 			return sorted[i].Weight > sorted[j].Weight
 		}
-		if sorted[i].Pair.E1 != sorted[j].Pair.E1 {
-			return sorted[i].Pair.E1 < sorted[j].Pair.E1
-		}
-		return sorted[i].Pair.E2 < sorted[j].Pair.E2
+		return sorted[i].Pair.Less(sorted[j].Pair)
 	})
 	out := make([]eval.Pair, 0, k)
 	for _, e := range sorted[:k] {
 		out = append(out, e.Pair)
 	}
-	sortPairs(out)
+	eval.SortPairs(out)
 	return out
 }
 
@@ -332,10 +329,7 @@ func (g *Graph) pruneCNP() []eval.Pair {
 			if ea.Weight != eb.Weight {
 				return ea.Weight > eb.Weight
 			}
-			if ea.Pair.E1 != eb.Pair.E1 {
-				return ea.Pair.E1 < eb.Pair.E1
-			}
-			return ea.Pair.E2 < eb.Pair.E2
+			return ea.Pair.Less(eb.Pair)
 		})
 		top := k
 		if top > len(sorted) {
@@ -359,17 +353,8 @@ func (g *Graph) collect(keep map[int32]struct{}) []eval.Pair {
 	for i := range keep {
 		out = append(out, g.Edges[i].Pair)
 	}
-	sortPairs(out)
+	eval.SortPairs(out)
 	return out
-}
-
-func sortPairs(pairs []eval.Pair) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].E1 != pairs[j].E1 {
-			return pairs[i].E1 < pairs[j].E1
-		}
-		return pairs[i].E2 < pairs[j].E2
-	})
 }
 
 // Stats summarizes a pruned comparison set against a ground truth.

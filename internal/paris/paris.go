@@ -12,8 +12,6 @@
 package paris
 
 import (
-	"sort"
-
 	"minoaner/internal/cluster"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
@@ -364,11 +362,6 @@ func (s *state) finalMatches() []eval.Pair {
 		pairs = append(pairs, cluster.ScoredPair{E1: p.E1, E2: p.E2, Score: pr})
 	}
 	out := cluster.UniqueMapping(pairs, s.cfg.Threshold)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].E1 != out[j].E1 {
-			return out[i].E1 < out[j].E1
-		}
-		return out[i].E2 < out[j].E2
-	})
+	eval.SortPairs(out)
 	return out
 }

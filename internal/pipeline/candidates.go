@@ -1,6 +1,7 @@
-package core
+package pipeline
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -14,15 +15,6 @@ import (
 type Cand struct {
 	ID  kb.EntityID
 	Sim float64
-}
-
-// candidateEvidence holds, for every entity of one KB, the top-K
-// candidates of the other KB under value similarity and under neighbor
-// similarity, each sorted by descending similarity (ties by ascending
-// ID).
-type candidateEvidence struct {
-	value    [][]Cand
-	neighbor [][]Cand
 }
 
 // tokenWeights assigns each token block of the (purged) collection its
@@ -42,15 +34,18 @@ func tokenWeights(bt *blocking.Collection) []float64 {
 // block-by-block: each shared token block contributes its weight to
 // every cross pair it suggests, which realizes
 // valueSim = Σ_{shared tokens} w(t) over the blocks' tokens.
-func valueCandidates(bt *blocking.Collection, idx *blocking.Index, weights []float64, k, workers int) ([][]Cand, [][]Cand) {
+func valueCandidates(ctx context.Context, bt *blocking.Collection, idx *blocking.Index, weights []float64, k, workers int) ([][]Cand, [][]Cand, error) {
 	n1, n2 := bt.KBSizes()
 	side1 := make([][]Cand, n1)
 	side2 := make([][]Cand, n2)
 
-	run := func(n, other int, byEnt [][]int32, members func(bi int32) []kb.EntityID, out [][]Cand) {
-		parallelFor(n, workers, func(worker, start, end int) {
+	run := func(n, other int, byEnt [][]int32, members func(bi int32) []kb.EntityID, out [][]Cand) error {
+		return parallelFor(ctx, n, workers, func(worker, start, end int) error {
 			acc := newAccumulator(other)
 			for e := start; e < end; e++ {
+				if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
 				for _, bi := range byEnt[e] {
 					w := weights[bi]
 					for _, o := range members(bi) {
@@ -60,11 +55,16 @@ func valueCandidates(bt *blocking.Collection, idx *blocking.Index, weights []flo
 				out[e] = acc.topK(k)
 				acc.reset()
 			}
+			return nil
 		})
 	}
-	run(n1, n2, idx.ByE1, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E2 }, side1)
-	run(n2, n1, idx.ByE2, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E1 }, side2)
-	return side1, side2
+	if err := run(n1, n2, idx.ByE1, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E2 }, side1); err != nil {
+		return nil, nil, err
+	}
+	if err := run(n2, n1, idx.ByE2, func(bi int32) []kb.EntityID { return bt.Blocks[bi].E1 }, side2); err != nil {
+		return nil, nil, err
+	}
+	return side1, side2, nil
 }
 
 // neighborCandidates computes, for every entity, its top-K candidates
@@ -77,7 +77,7 @@ func valueCandidates(bt *blocking.Collection, idx *blocking.Index, weights []flo
 // value-candidate lists of the neighbors — exactly the evidence the
 // blocks provide — so only pairs co-occurring in token blocks
 // contribute, as in the paper's blocks-centric computation.
-func neighborCandidates(kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) ([][]Cand, [][]Cand) {
+func neighborCandidates(ctx context.Context, kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) ([][]Cand, [][]Cand, error) {
 	top1 := topNeighborLists(kb1, n)
 	top2 := topNeighborLists(kb2, n)
 	rev1 := reverseNeighborIndex(top1, kb1.Len())
@@ -88,9 +88,12 @@ func neighborCandidates(kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) (
 
 	// Side 1: neighbors n_i of e_1 propose, through their value
 	// candidates n_j, every e_2 that has n_j among its best neighbors.
-	parallelFor(kb1.Len(), workers, func(worker, start, end int) {
+	err := parallelFor(ctx, kb1.Len(), workers, func(worker, start, end int) error {
 		acc := newAccumulator(kb2.Len())
 		for e := start; e < end; e++ {
+			if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			for _, nei := range top1[e] {
 				for _, cand := range vc1[nei] {
 					if cand.Sim <= 0 {
@@ -104,10 +107,17 @@ func neighborCandidates(kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) (
 			out1[e] = acc.topK(k)
 			acc.reset()
 		}
+		return nil
 	})
-	parallelFor(kb2.Len(), workers, func(worker, start, end int) {
+	if err != nil {
+		return nil, nil, err
+	}
+	err = parallelFor(ctx, kb2.Len(), workers, func(worker, start, end int) error {
 		acc := newAccumulator(kb1.Len())
 		for e := start; e < end; e++ {
+			if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			for _, nej := range top2[e] {
 				for _, cand := range vc2[nej] {
 					if cand.Sim <= 0 {
@@ -121,8 +131,12 @@ func neighborCandidates(kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) (
 			out2[e] = acc.topK(k)
 			acc.reset()
 		}
+		return nil
 	})
-	return out1, out2
+	if err != nil {
+		return nil, nil, err
+	}
+	return out1, out2, nil
 }
 
 func topNeighborLists(k *kb.KB, n int) [][]kb.EntityID {
@@ -192,22 +206,31 @@ func (a *accumulator) topK(k int) []Cand {
 	return cands
 }
 
+// cancelCheckStride is how many per-entity iterations a parallel loop
+// runs between context checks: frequent enough that cancellation lands
+// within milliseconds, rare enough to stay off the profile.
+const cancelCheckStride = 256
+
 // parallelFor splits [0,n) into contiguous chunks across min(workers,n)
 // goroutines. The work function receives its worker index and chunk
 // bounds; chunks do not overlap, so no synchronization is needed on
-// per-index outputs.
-func parallelFor(n, workers int, work func(worker, start, end int)) {
+// per-index outputs. The first non-nil error wins; a cancelled context
+// surfaces as ctx.Err() even if no worker observed it.
+func parallelFor(ctx context.Context, n, workers int, work func(worker, start, end int) error) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		work(0, 0, n)
-		return
+		return work(0, 0, n)
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		start := w * chunk
@@ -221,8 +244,18 @@ func parallelFor(n, workers int, work func(worker, start, end int)) {
 		wg.Add(1)
 		go func(worker, s, e int) {
 			defer wg.Done()
-			work(worker, s, e)
+			if err := work(worker, s, e); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(w, start, end)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"sort"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// firstEligible returns the best candidate not already claimed by H1.
+func firstEligible(cands []Cand, h1Taken map[kb.EntityID]kb.EntityID) (Cand, bool) {
+	for _, c := range cands {
+		if _, taken := h1Taken[c.ID]; taken {
+			continue
+		}
+		return c, true
+	}
+	return Cand{}, false
+}
+
+// aggregateRanks implements H3's threshold-free rank aggregation. Both
+// lists are already sorted by descending similarity; the candidate at
+// position i of a list of size L receives normalized rank (L-i)/L, and
+// candidates absent from a list receive 0 for it. The aggregate score
+// is θ·valueRank + (1-θ)·neighborRank; the top-1 candidate wins (ties
+// by ascending ID).
+func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID) bool) (kb.EntityID, bool) {
+	scores := make(map[kb.EntityID]float64, len(value)+len(neighbor))
+	addList := func(list []Cand, w float64) {
+		eligible := make([]Cand, 0, len(list))
+		for _, c := range list {
+			if c.Sim <= 0 || skip(c.ID) {
+				continue
+			}
+			eligible = append(eligible, c)
+		}
+		l := float64(len(eligible))
+		for i, c := range eligible {
+			scores[c.ID] += w * (l - float64(i)) / l
+		}
+	}
+	addList(value, theta)
+	addList(neighbor, 1-theta)
+	if len(scores) == 0 {
+		return 0, false
+	}
+	var best kb.EntityID
+	bestScore := -1.0
+	ids := make([]kb.EntityID, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if s := scores[id]; s > bestScore {
+			bestScore = s
+			best = id
+		}
+	}
+	return best, true
+}
+
+// reciprocal implements H4: e2 must appear in e1's top-K value or
+// neighbor candidates, and vice versa.
+func (s *State) reciprocal(p eval.Pair) bool {
+	return containsCand(s.ValueCands1[p.E1], s.NeighborCands1[p.E1], p.E2) &&
+		containsCand(s.ValueCands2[p.E2], s.NeighborCands2[p.E2], p.E1)
+}
+
+func containsCand(value, neighbor []Cand, id kb.EntityID) bool {
+	for _, c := range value {
+		if c.ID == id {
+			return true
+		}
+	}
+	for _, c := range neighbor {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}

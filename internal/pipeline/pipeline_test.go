@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func fakeStage(name string, log *[]string) Stage {
+	return newStage(name, func(ctx context.Context, st *State) error {
+		*log = append(*log, name)
+		return nil
+	})
+}
+
+func TestEngineRunsPlanInOrderWithStats(t *testing.T) {
+	var log []string
+	plan := []Stage{fakeStage("a", &log), fakeStage("b", &log), fakeStage("c", &log)}
+	var events []ProgressEvent
+	eng := Engine{Plan: plan, Progress: func(ev ProgressEvent) { events = append(events, ev) }}
+	stats, err := eng.Run(context.Background(), &State{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log, []string{"a", "b", "c"}) {
+		t.Errorf("execution order = %v", log)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %v", stats)
+	}
+	for i, s := range stats {
+		if s.Stage != plan[i].Name() {
+			t.Errorf("stat %d is for %q, want %q", i, s.Stage, plan[i].Name())
+		}
+		if s.Duration < 0 {
+			t.Errorf("stage %q has negative duration", s.Stage)
+		}
+	}
+	// Each stage emits a start and a done event, in order.
+	if len(events) != 6 {
+		t.Fatalf("progress events = %d, want 6", len(events))
+	}
+	for i, ev := range events {
+		wantStage := plan[i/2].Name()
+		if ev.Stage != wantStage || ev.Done != (i%2 == 1) || ev.Total != 3 || ev.Index != i/2 {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestEngineCancellationBetweenStages(t *testing.T) {
+	var log []string
+	ctx, cancel := context.WithCancel(context.Background())
+	plan := []Stage{
+		fakeStage("first", &log),
+		newStage("cancelling", func(ctx context.Context, st *State) error {
+			log = append(log, "cancelling")
+			cancel() // takes effect before the next stage
+			return nil
+		}),
+		fakeStage("never", &log),
+	}
+	eng := Engine{Plan: plan}
+	stats, err := eng.Run(ctx, &State{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats != nil {
+		t.Errorf("stats = %v, want nil on failure", stats)
+	}
+	if !reflect.DeepEqual(log, []string{"first", "cancelling"}) {
+		t.Errorf("stages run: %v", log)
+	}
+}
+
+func TestEngineWrapsStageErrors(t *testing.T) {
+	boom := errors.New("boom")
+	plan := []Stage{newStage("exploding", func(context.Context, *State) error { return boom })}
+	_, err := (&Engine{Plan: plan}).Run(context.Background(), &State{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "exploding") {
+		t.Errorf("error does not name the stage: %v", err)
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	plan := DefaultPlan()
+	wantNames := []string{
+		StageNameBlocking, StageTokenBlocking, StageBlockPurging, StageBlockIndexing,
+		StageTokenWeighting, StageValueCandidates, StageNeighborCandidates,
+		StageNameMatching, StageValueMatching, StageRankAggregation,
+		StageUnion, StageReciprocity,
+	}
+	if got := Names(plan); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("DefaultPlan names = %v", got)
+	}
+
+	dropped := Drop(plan, StageValueMatching, StageReciprocity, "no-such-stage")
+	if len(dropped) != len(plan)-2 {
+		t.Errorf("Drop kept %d stages, want %d", len(dropped), len(plan)-2)
+	}
+	for _, n := range Names(dropped) {
+		if n == StageValueMatching || n == StageReciprocity {
+			t.Errorf("Drop left %q in the plan", n)
+		}
+	}
+	if len(plan) != len(wantNames) {
+		t.Error("Drop mutated the original plan")
+	}
+
+	ran := false
+	marker := newStage(StageBlockPurging, func(context.Context, *State) error { ran = true; return nil })
+	replaced := Replace(plan, StageBlockPurging, marker)
+	if got := Names(replaced); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("Replace changed names: %v", got)
+	}
+	if err := replaced[2].Run(context.Background(), &State{}); err != nil || !ran {
+		t.Errorf("Replace did not substitute the stage (err=%v ran=%v)", err, ran)
+	}
+
+	prefix := Until(plan, StageBlockPurging)
+	if got := Names(prefix); !reflect.DeepEqual(got, wantNames[:3]) {
+		t.Errorf("Until prefix = %v", got)
+	}
+	if got := Until(plan, "no-such-stage"); len(got) != len(plan) {
+		t.Errorf("Until with unknown name truncated to %d stages", len(got))
+	}
+}
+
+func TestStagePreconditionsReported(t *testing.T) {
+	// Each dependent stage must fail with a descriptive error instead of
+	// computing on missing artifacts.
+	cases := []struct {
+		stage Stage
+		want  string
+	}{
+		{BlockPurging(), StageTokenBlocking},
+		{KeepAllBlocks(), StageTokenBlocking},
+		{BlockIndexing(), StageTokenBlocking},
+		{TokenWeighting(), StageTokenBlocking},
+		{ValueCandidates(), StageBlockIndexing},
+		{NeighborCandidates(), StageValueCandidates},
+		{NameMatching(), StageNameBlocking},
+		{ValueMatching(), StageValueCandidates},
+		{RankAggregation(), StageValueCandidates},
+		{Reciprocity(), StageUnion},
+	}
+	for _, tc := range cases {
+		err := tc.stage.Run(context.Background(), &State{})
+		if err == nil {
+			t.Errorf("stage %q ran without its inputs", tc.stage.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("stage %q error %q does not point at %q", tc.stage.Name(), err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"runtime"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// Params carries the MinoanER parameters a stage plan runs under. It is
+// the pipeline-level mirror of core.Config without the ablation
+// switches: ablations are expressed as plan edits (dropping or
+// replacing stages), not as flags threaded through the stages.
+type Params struct {
+	// K is the number of candidate matches kept per entity and per
+	// evidence type (value, neighbor).
+	K int
+	// N is the number of most important relations per entity whose
+	// neighbors contribute to neighbor similarity.
+	N int
+	// NameK is the number of most distinctive attributes per KB whose
+	// literal values serve as entity names for H1.
+	NameK int
+	// Theta trades value-based (θ) against neighbor-based (1-θ)
+	// normalized ranks in H3.
+	Theta float64
+	// Purge configures the BlockPurging stage.
+	Purge blocking.PurgeConfig
+	// Workers bounds the goroutines used inside parallel stages.
+	// 0 selects GOMAXPROCS. Results are identical at any setting.
+	Workers int
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// State is the blackboard a stage plan reads from and writes to. Each
+// stage consumes the artifacts of earlier stages and publishes its own;
+// a stage whose inputs are missing fails with a descriptive error
+// instead of computing on nil evidence.
+type State struct {
+	// Inputs, set by NewState.
+	KB1, KB2 *kb.KB
+	Params   Params
+
+	// Blocking artifacts.
+	NameBlocks  *blocking.Collection // B_N, set by StageNameBlocking
+	TokenBlocks *blocking.Collection // B_T, set by StageTokenBlocking, purged in place by StageBlockPurging
+	TokenIndex  *blocking.Index      // entity -> token blocks, set by StageBlockIndexing
+	PurgeStats  blocking.PurgeResult // what purging removed
+
+	// Block accounting (the Table II numbers of one run).
+	NameBlockCount, TokenBlockCount   int
+	NameComparisons, TokenComparisons int64
+
+	// Evidence artifacts.
+	Weights                        []float64 // ARCS weight per token block, set by StageTokenWeighting
+	ValueCands1, ValueCands2       [][]Cand  // top-K value candidates per entity, set by StageValueCandidates
+	NeighborCands1, NeighborCands2 [][]Cand  // top-K neighbor candidates per entity, set by StageNeighborCandidates
+
+	// Matching artifacts. The maps record which entities each heuristic
+	// claimed so later heuristics skip them; pair slices keep the
+	// per-heuristic contributions for reporting.
+	H1Map1, H1Map2     map[kb.EntityID]kb.EntityID // 1-1 name matches, set by StageNameMatching
+	H2TakenA, H2TakenB map[kb.EntityID]struct{}    // H2 claims, keyed by emission side
+	H1, H2, H3         []eval.Pair
+
+	// Output.
+	Matches       []eval.Pair // set by StageUnion, filtered in place by StageReciprocity
+	DiscardedByH4 int
+
+	// unionDone marks that StageUnion ran, distinguishing "no matches"
+	// from "union never computed" for Reciprocity's precondition.
+	unionDone bool
+}
+
+// NewState prepares the blackboard for one run over a KB pair.
+func NewState(kb1, kb2 *kb.KB, p Params) *State {
+	return &State{
+		KB1:    kb1,
+		KB2:    kb2,
+		Params: p,
+		H1Map1: make(map[kb.EntityID]kb.EntityID),
+		H1Map2: make(map[kb.EntityID]kb.EntityID),
+	}
+}
+
+// emission describes which KB the matching heuristics emit decisions
+// for: the smaller one, as in the paper ("every entity e_i of the
+// smaller in size KB"). The other side's evidence still feeds H4.
+type emission struct {
+	swap      bool // true when KB2 is the smaller side
+	sizeA     int
+	valueA    [][]Cand
+	neighborA [][]Cand
+	h1A, h1B  map[kb.EntityID]kb.EntityID
+	h2A, h2B  map[kb.EntityID]struct{}
+}
+
+func (s *State) emission() emission {
+	e := emission{
+		swap:      s.KB2.Len() < s.KB1.Len(),
+		sizeA:     s.KB1.Len(),
+		valueA:    s.ValueCands1,
+		neighborA: s.NeighborCands1,
+		h1A:       s.H1Map1,
+		h1B:       s.H1Map2,
+		h2A:       s.H2TakenA,
+		h2B:       s.H2TakenB,
+	}
+	if e.swap {
+		e.sizeA = s.KB2.Len()
+		e.valueA = s.ValueCands2
+		e.neighborA = s.NeighborCands2
+		e.h1A, e.h1B = s.H1Map2, s.H1Map1
+	}
+	return e
+}
+
+// pair orients an (emitter, other) decision into canonical (E1, E2)
+// order.
+func (e emission) pair(a, b kb.EntityID) eval.Pair {
+	if e.swap {
+		return eval.Pair{E1: b, E2: a}
+	}
+	return eval.Pair{E1: a, E2: b}
+}

@@ -12,11 +12,14 @@
 package progressive
 
 import (
+	"context"
 	"sort"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/eval"
+	"minoaner/internal/kb"
 	"minoaner/internal/metablocking"
+	"minoaner/internal/pipeline"
 )
 
 // Schedule returns every distinct comparison of the collection ordered
@@ -29,16 +32,37 @@ func Schedule(c *blocking.Collection, scheme metablocking.Scheme) []eval.Pair {
 		if edges[i].Weight != edges[j].Weight {
 			return edges[i].Weight > edges[j].Weight
 		}
-		if edges[i].Pair.E1 != edges[j].Pair.E1 {
-			return edges[i].Pair.E1 < edges[j].Pair.E1
-		}
-		return edges[i].Pair.E2 < edges[j].Pair.E2
+		return edges[i].Pair.Less(edges[j].Pair)
 	})
 	out := make([]eval.Pair, len(edges))
 	for i, e := range edges {
 		out[i] = e.Pair
 	}
 	return out
+}
+
+// ScheduleKBs builds the comparison schedule directly from two KBs by
+// running the matching pipeline's blocking prefix (token blocking and
+// Block Purging) and scheduling the purged collection. This is the
+// plan-reuse path: the scheduler consumes exactly the blocks the
+// matcher would score, and a cancelled context aborts the blocking
+// work the same way it aborts a full resolution.
+func ScheduleKBs(ctx context.Context, kb1, kb2 *kb.KB, params pipeline.Params, scheme metablocking.Scheme) ([]eval.Pair, error) {
+	// A zero Purge config would clamp the cutoff to 1 and silently purge
+	// nearly every block; default it to the standard smoothing instead.
+	if params.Purge == (blocking.PurgeConfig{}) {
+		params.Purge = blocking.DefaultPurgeConfig()
+	}
+	st := pipeline.NewState(kb1, kb2, params)
+	// Name blocking's output is not scheduled; drop it so the prefix
+	// pays only for the token blocks it consumes.
+	plan := pipeline.Until(
+		pipeline.Drop(pipeline.DefaultPlan(), pipeline.StageNameBlocking),
+		pipeline.StageBlockPurging)
+	if _, err := (&pipeline.Engine{Plan: plan}).Run(ctx, st); err != nil {
+		return nil, err
+	}
+	return Schedule(st.TokenBlocks, scheme), nil
 }
 
 // RecallAt returns the fraction of ground-truth matches encountered

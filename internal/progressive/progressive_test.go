@@ -1,13 +1,17 @@
 package progressive
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
 	"minoaner/internal/metablocking"
+	"minoaner/internal/pipeline"
 )
 
 func bibliographySetup(t testing.TB) (*blocking.Collection, *eval.GroundTruth) {
@@ -93,6 +97,39 @@ func TestCurveMatchesRecallAt(t *testing.T) {
 		if want := RecallAt(sched, gt, b); curve[i] != want {
 			t.Errorf("curve[%d] = %f, RecallAt(%d) = %f", i, curve[i], b, want)
 		}
+	}
+}
+
+// TestScheduleKBsMatchesManualBlocking: the pipeline-prefix path must
+// schedule exactly the pairs of manually built-and-purged blocks, and
+// honor cancellation.
+func TestScheduleKBsMatchesManualBlocking(t *testing.T) {
+	ds, err := datagen.Bibliography(datagen.Options{Seed: 3, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := blocking.TokenBlocks(ds.KB1, ds.KB2)
+	c, _ = blocking.Purge(c, blocking.DefaultPurgeConfig())
+	manual := Schedule(c, metablocking.ARCS)
+
+	params := pipeline.Params{K: 15, N: 3, NameK: 2, Theta: 0.6, Purge: blocking.DefaultPurgeConfig()}
+	viaPlan, err := ScheduleKBs(context.Background(), ds.KB1, ds.KB2, params, metablocking.ARCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(manual, viaPlan) {
+		t.Errorf("pipeline schedule has %d pairs, manual %d", len(viaPlan), len(manual))
+		for i := 0; i < len(manual) && i < len(viaPlan); i++ {
+			if manual[i] != viaPlan[i] {
+				t.Fatalf("first divergence at index %d: pipeline %v, manual %v", i, viaPlan[i], manual[i])
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScheduleKBs(ctx, ds.KB1, ds.KB2, params, metablocking.ARCS); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ScheduleKBs: err = %v", err)
 	}
 }
 

@@ -11,7 +11,6 @@ package propagate
 
 import (
 	"container/heap"
-	"sort"
 
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
@@ -77,10 +76,7 @@ func (h candHeap) Less(i, j int) bool {
 	if h[i].score != h[j].score {
 		return h[i].score > h[j].score
 	}
-	if h[i].pair.E1 != h[j].pair.E1 {
-		return h[i].pair.E1 < h[j].pair.E1
-	}
-	return h[i].pair.E2 < h[j].pair.E2
+	return h[i].pair.Less(h[j].pair)
 }
 func (h candHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
@@ -298,11 +294,6 @@ func (e *engine) drain() {
 func (e *engine) result() []eval.Pair {
 	out := make([]eval.Pair, len(e.order))
 	copy(out, e.order)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].E1 != out[j].E1 {
-			return out[i].E1 < out[j].E1
-		}
-		return out[i].E2 < out[j].E2
-	})
+	eval.SortPairs(out)
 	return out
 }

@@ -9,8 +9,6 @@
 package rimom
 
 import (
-	"sort"
-
 	"minoaner/internal/blocking"
 	"minoaner/internal/cluster"
 	"minoaner/internal/eval"
@@ -148,12 +146,7 @@ func (s *state) oneLeftObjectRound() int {
 	for x, y := range s.matched1 {
 		matchedPairs = append(matchedPairs, eval.Pair{E1: x, E2: y})
 	}
-	sort.Slice(matchedPairs, func(i, j int) bool {
-		if matchedPairs[i].E1 != matchedPairs[j].E1 {
-			return matchedPairs[i].E1 < matchedPairs[j].E1
-		}
-		return matchedPairs[i].E2 < matchedPairs[j].E2
-	})
+	eval.SortPairs(matchedPairs)
 
 	for _, mp := range matchedPairs {
 		x, y := mp.E1, mp.E2
@@ -169,12 +162,7 @@ func (s *state) oneLeftObjectRound() int {
 			proposals = append(proposals, pending{p: eval.Pair{E1: left1[0], E2: left2[0]}})
 		}
 	}
-	sort.Slice(proposals, func(i, j int) bool {
-		if proposals[i].p.E1 != proposals[j].p.E1 {
-			return proposals[i].p.E1 < proposals[j].p.E1
-		}
-		return proposals[i].p.E2 < proposals[j].p.E2
-	})
+	eval.SortPairsBy(proposals, func(pr pending) eval.Pair { return pr.p })
 	added := 0
 	for _, pr := range proposals {
 		if s.add(pr.p) {
@@ -227,11 +215,6 @@ func (s *state) result() []eval.Pair {
 	for x, y := range s.matched1 {
 		out = append(out, eval.Pair{E1: x, E2: y})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].E1 != out[j].E1 {
-			return out[i].E1 < out[j].E1
-		}
-		return out[i].E2 < out[j].E2
-	})
+	eval.SortPairs(out)
 	return out
 }

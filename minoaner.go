@@ -32,9 +32,11 @@
 package minoaner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/core"
@@ -42,6 +44,7 @@ import (
 	"minoaner/internal/dedup"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
+	"minoaner/internal/pipeline"
 	"minoaner/internal/rdf"
 )
 
@@ -234,18 +237,86 @@ type Result struct {
 	NameComparisons, TokenComparisons int64
 	// PurgedBlocks counts token blocks removed by Block Purging.
 	PurgedBlocks int
+	// StageTimings reports the pipeline stages executed for this run, in
+	// order, with their wall-clock and allocation cost.
+	StageTimings []StageTiming
 
 	kb1, kb2 *kb.KB
 	pairs    []eval.Pair
 }
 
+// StageTiming is the recorded execution of one pipeline stage.
+type StageTiming struct {
+	// Stage is the stage's name, e.g. "token-blocking" or "h2-values".
+	Stage string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// AllocBytes is the heap allocated while the stage ran
+	// (process-wide, so approximate when other goroutines allocate).
+	AllocBytes uint64
+}
+
+// StageProgress notifies a progress callback that a pipeline stage
+// started (Done=false) or finished (Done=true, Timing valid).
+type StageProgress struct {
+	// Stage is the stage's name.
+	Stage string
+	// Index and Total locate the stage in the plan (Index is 0-based).
+	Index, Total int
+	// Done distinguishes completion from start.
+	Done bool
+	// Timing is the stage's cost; valid only when Done.
+	Timing StageTiming
+}
+
+// ResolveOption customizes one ResolveContext run.
+type ResolveOption func(*resolveOptions)
+
+type resolveOptions struct {
+	progress func(StageProgress)
+}
+
+// WithProgress registers a callback invoked as each pipeline stage
+// starts and finishes. The callback runs synchronously on the resolving
+// goroutine; keep it cheap. Cancelling the run's context from inside
+// the callback is safe and stops the run promptly.
+func WithProgress(fn func(StageProgress)) ResolveOption {
+	return func(o *resolveOptions) { o.progress = fn }
+}
+
 // Resolve runs the MinoanER matching process on two KBs.
 func Resolve(kb1, kb2 *KB, cfg Config) (*Result, error) {
+	return ResolveContext(context.Background(), kb1, kb2, cfg)
+}
+
+// ResolveContext runs the MinoanER matching process under a context.
+// Cancellation aborts between pipeline stages and inside the parallel
+// candidate-scoring loops, returning ctx.Err() with no partial Result.
+func ResolveContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...ResolveOption) (*Result, error) {
+	var o resolveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	m, err := core.NewMatcher(kb1.kb, kb2.kb, cfg.internal())
 	if err != nil {
 		return nil, err
 	}
-	res := m.Run()
+	var progress pipeline.Progress
+	if o.progress != nil {
+		progress = func(ev pipeline.ProgressEvent) {
+			o.progress(StageProgress{
+				Stage:  ev.Stage,
+				Index:  ev.Index,
+				Total:  ev.Total,
+				Done:   ev.Done,
+				Timing: stageTiming(ev.Stat),
+			})
+		}
+	}
+	res, err := m.RunPlan(ctx, m.Plan(), progress)
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{
 		ByName:                 len(res.H1),
 		ByValue:                len(res.H2),
@@ -256,15 +327,23 @@ func Resolve(kb1, kb2 *KB, cfg Config) (*Result, error) {
 		NameComparisons:        res.NameComparisons,
 		TokenComparisons:       res.TokenComparisons,
 		PurgedBlocks:           res.Purge.RemovedBlocks,
+		StageTimings:           make([]StageTiming, len(res.Stages)),
 		kb1:                    kb1.kb,
 		kb2:                    kb2.kb,
 		pairs:                  res.Matches,
+	}
+	for i, s := range res.Stages {
+		out.StageTimings[i] = stageTiming(s)
 	}
 	out.Matches = make([]Match, len(res.Matches))
 	for i, p := range res.Matches {
 		out.Matches[i] = Match{URI1: kb1.kb.URI(p.E1), URI2: kb2.kb.URI(p.E2)}
 	}
 	return out, nil
+}
+
+func stageTiming(s pipeline.StageStat) StageTiming {
+	return StageTiming{Stage: s.Stage, Duration: s.Duration, AllocBytes: s.AllocBytes}
 }
 
 // DedupConfig tunes single-KB deduplication (dirty ER).

@@ -1,0 +1,71 @@
+package minoaner_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"minoaner"
+)
+
+func TestResolveContextCancelled(t *testing.T) {
+	kb1, kb2 := loadPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := minoaner.ResolveContext(ctx, kb1, kb2, minoaner.DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled resolve returned a partial Result")
+	}
+}
+
+func TestResolveContextCancelMidRun(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("Rexa-DBLP", 42, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := minoaner.ResolveContext(ctx, b.KB1, b.KB2, minoaner.DefaultConfig(),
+		minoaner.WithProgress(func(p minoaner.StageProgress) {
+			if p.Stage == "value-candidates" && !p.Done {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("mid-run cancellation returned a partial Result")
+	}
+}
+
+func TestResolveContextStageTimingsAndProgress(t *testing.T) {
+	kb1, kb2 := loadPair(t)
+	var events []minoaner.StageProgress
+	res, err := minoaner.ResolveContext(context.Background(), kb1, kb2, minoaner.DefaultConfig(),
+		minoaner.WithProgress(func(p minoaner.StageProgress) { events = append(events, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageTimings) == 0 {
+		t.Fatal("no stage timings on Result")
+	}
+	if len(events) != 2*len(res.StageTimings) {
+		t.Errorf("progress events = %d, want %d", len(events), 2*len(res.StageTimings))
+	}
+	for i, st := range res.StageTimings {
+		if st.Stage == "" || st.Duration < 0 {
+			t.Errorf("timing %d malformed: %+v", i, st)
+		}
+	}
+	// The run itself must match the plain Resolve output.
+	plain, err := minoaner.Resolve(kb1, kb2, minoaner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Matches) != len(res.Matches) {
+		t.Errorf("ResolveContext found %d matches, Resolve %d", len(res.Matches), len(plain.Matches))
+	}
+}
