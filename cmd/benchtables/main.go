@@ -7,6 +7,8 @@
 //	benchtables -table all        # everything
 //	benchtables -ablations        # MinoanER ablation study
 //	benchtables -json BENCH_pipeline.json   # per-stage pipeline timings
+//	benchtables -ingest-json BENCH_ingest.json -ingest-workers 1,2,4,8
+//	                              # ingest-to-matches profile across worker counts
 //
 // Absolute numbers differ from the paper (the substrates are synthetic
 // stand-ins; see DESIGN.md §2); the comparative shapes are the
@@ -14,18 +16,24 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"minoaner/internal/core"
 	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
 	"minoaner/internal/experiments"
+	"minoaner/internal/pipeline"
+	"minoaner/internal/rdf"
 )
 
 // stageBenchJSON is one stage's cost within a dataset's pipeline run.
@@ -80,6 +88,147 @@ func writePipelineBench(path string, datasets []*datagen.Dataset, seed int64, sc
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// ingestRunJSON is one ingest-to-matches run at a fixed worker count.
+type ingestRunJSON struct {
+	Workers           int              `json:"workers"`
+	TotalNano         int64            `json:"total_ns"`
+	IngestNano        int64            `json:"ingest_ns"`
+	BuildBlockingNano int64            `json:"build_blocking_ns"`
+	Matches           int              `json:"matches"`
+	Stages            []stageBenchJSON `json:"stages"`
+}
+
+// ingestDatasetJSON profiles one benchmark across worker counts.
+type ingestDatasetJSON struct {
+	Name     string `json:"name"`
+	Triples1 int    `json:"triples1"`
+	Triples2 int    `json:"triples2"`
+	// SpeedupBuildBlocking is build_blocking_ns at the lowest worker
+	// count divided by the same at the highest (bounded by maxprocs on
+	// single-core machines); 0 when the sweep has a single count.
+	SpeedupBuildBlocking float64         `json:"speedup_build_blocking"`
+	Runs                 []ingestRunJSON `json:"runs"`
+}
+
+// ingestBenchJSON is the BENCH_ingest.json document: the instrumented
+// ingest-to-blocks-to-matches path (N-Triples parsing, KB assembly,
+// blocking, matching) of every synthetic benchmark, swept over worker
+// counts, with a built-in bit-identity guard across the sweep.
+type ingestBenchJSON struct {
+	Seed         int64               `json:"seed"`
+	Scale        float64             `json:"scale"`
+	MaxProcs     int                 `json:"maxprocs"`
+	WorkerCounts []int               `json:"worker_counts"`
+	Datasets     []ingestDatasetJSON `json:"datasets"`
+}
+
+// buildBlockingStages are the stages the ingest speedup is measured
+// over: KB assembly plus the whole blocking layer.
+var buildBlockingStages = map[string]bool{
+	pipeline.StageKBBuild:       true,
+	pipeline.StageNameBlocking:  true,
+	pipeline.StageTokenBlocking: true,
+	pipeline.StageBlockPurging:  true,
+	pipeline.StageBlockIndexing: true,
+}
+
+func writeIngestBench(path string, datasets []*datagen.Dataset, seed int64, scale float64, workerCounts []int) error {
+	doc := ingestBenchJSON{Seed: seed, Scale: scale, MaxProcs: runtime.GOMAXPROCS(0), WorkerCounts: workerCounts}
+	for _, ds := range datasets {
+		var nt1, nt2 bytes.Buffer
+		if err := rdf.WriteAll(&nt1, ds.Triples1); err != nil {
+			return err
+		}
+		if err := rdf.WriteAll(&nt2, ds.Triples2); err != nil {
+			return err
+		}
+		entry := ingestDatasetJSON{Name: ds.Name, Triples1: len(ds.Triples1), Triples2: len(ds.Triples2)}
+		var baseline []eval.Pair
+		baselineWorkers, haveBaseline := 0, false
+		for _, w := range workerCounts {
+			cfg := core.DefaultConfig()
+			cfg.Workers = w
+			res, _, _, err := core.RunSources(context.Background(),
+				pipeline.Source{Name: ds.Name + "/KB1", R: bytes.NewReader(nt1.Bytes())},
+				pipeline.Source{Name: ds.Name + "/KB2", R: bytes.NewReader(nt2.Bytes())},
+				cfg, nil, true)
+			if err != nil {
+				return err
+			}
+			if !haveBaseline {
+				baseline, baselineWorkers, haveBaseline = res.Matches, w, true
+			} else if !samePairs(res.Matches, baseline) {
+				return fmt.Errorf("%s: matches diverge between workers=%d and workers=%d",
+					ds.Name, baselineWorkers, w)
+			}
+			run := ingestRunJSON{Workers: w, Matches: len(res.Matches)}
+			for _, s := range res.Stages {
+				run.Stages = append(run.Stages, stageBenchJSON{
+					Stage:      s.Stage,
+					Nanos:      s.Duration.Nanoseconds(),
+					AllocBytes: s.AllocBytes,
+				})
+				run.TotalNano += s.Duration.Nanoseconds()
+				if s.Stage == pipeline.StageIngest {
+					run.IngestNano += s.Duration.Nanoseconds()
+				}
+				if buildBlockingStages[s.Stage] {
+					run.BuildBlockingNano += s.Duration.Nanoseconds()
+				}
+			}
+			entry.Runs = append(entry.Runs, run)
+		}
+		// Speedup compares the lowest against the highest worker count,
+		// wherever they appear in the sweep.
+		var base, best ingestRunJSON
+		for _, run := range entry.Runs {
+			if base.Workers == 0 || run.Workers < base.Workers {
+				base = run
+			}
+			if run.Workers > best.Workers {
+				best = run
+			}
+		}
+		if base.BuildBlockingNano > 0 && best.BuildBlockingNano > 0 && base.Workers != best.Workers {
+			entry.SpeedupBuildBlocking = float64(base.BuildBlockingNano) / float64(best.BuildBlockingNano)
+		}
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// samePairs compares match slices treating nil and empty as equal.
+func samePairs(a, b []eval.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts in %q", s)
+	}
+	return out, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtables: ")
@@ -93,6 +242,8 @@ func main() {
 		methods       = flag.String("methods", "", "comma-separated subset of methods for table 3 (default: all)")
 		timing        = flag.Bool("timing", true, "print per-step wall-clock timings to stderr")
 		jsonPath      = flag.String("json", "", "write per-stage MinoanER pipeline timings to this JSON file (e.g. BENCH_pipeline.json) instead of the paper tables")
+		ingestPath    = flag.String("ingest-json", "", "write the instrumented ingest-to-matches profile (N-Triples parsing, KB build, blocking, matching) to this JSON file (e.g. BENCH_ingest.json) instead of the paper tables")
+		ingestWorkers = flag.String("ingest-workers", "1,2,4,8", "comma-separated worker counts swept by -ingest-json")
 	)
 	flag.Parse()
 
@@ -113,6 +264,21 @@ func main() {
 		if *timing {
 			fmt.Fprintf(os.Stderr, "pipeline bench in %v (written to %s)\n",
 				time.Since(t0).Round(time.Millisecond), *jsonPath)
+		}
+		return
+	}
+	if *ingestPath != "" {
+		counts, err := parseWorkerCounts(*ingestWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := writeIngestBench(*ingestPath, datasets, *seed, *scale, counts); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "ingest bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *ingestPath)
 		}
 		return
 	}

@@ -39,6 +39,7 @@ func main() {
 		noH4    = flag.Bool("no-h4", false, "disable the reciprocity filter")
 		quiet   = flag.Bool("quiet", false, "suppress the match listing")
 		cache   = flag.Bool("cache", false, "cache parsed KBs next to the input as <file>.mkb and reuse them")
+		lenient = flag.Bool("lenient", false, "skip malformed or oversize N-Triples lines instead of failing")
 		verbose = flag.Bool("v", false, "print per-stage progress and timings to stderr")
 	)
 	flag.Parse()
@@ -48,8 +49,14 @@ func main() {
 	}
 
 	load := loadPlain
+	if *lenient {
+		load = loadLenient
+	}
 	if *cache {
-		load = loadCached
+		parse := load // cache misses honor -lenient too
+		load = func(name, path string) (*minoaner.KB, error) {
+			return loadCached(name, path, parse)
+		}
 	}
 	kb1, err := load("KB1", *kb1Path)
 	if err != nil {
@@ -124,9 +131,27 @@ func loadPlain(name, path string) (*minoaner.KB, error) {
 	return minoaner.LoadKBFile(name, path)
 }
 
+// loadLenient skips malformed lines, reporting how many were dropped.
+func loadLenient(name, path string) (*minoaner.KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	kb, skipped, err := minoaner.LoadKBLenient(name, f)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "%s: skipped %d malformed line(s)\n", name, skipped)
+	}
+	return kb, nil
+}
+
 // loadCached reuses <path>.mkb when it exists; otherwise it parses the
-// N-Triples file and writes the cache for the next run.
-func loadCached(name, path string) (*minoaner.KB, error) {
+// N-Triples file with the given loader and writes the cache for the
+// next run.
+func loadCached(name, path string, parse func(name, path string) (*minoaner.KB, error)) (*minoaner.KB, error) {
 	cachePath := path + ".mkb"
 	if f, err := os.Open(cachePath); err == nil {
 		defer f.Close()
@@ -137,7 +162,7 @@ func loadCached(name, path string) (*minoaner.KB, error) {
 		}
 		fmt.Fprintf(os.Stderr, "cache %s unusable (%v); re-parsing\n", cachePath, err)
 	}
-	kb, err := minoaner.LoadKBFile(name, path)
+	kb, err := parse(name, path)
 	if err != nil {
 		return nil, err
 	}

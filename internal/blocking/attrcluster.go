@@ -125,12 +125,18 @@ func AttributeClusteredBlocks(kb1, kb2 *kb.KB, clusters *AttributeClusters) *Col
 					}
 					seen[key] = struct{}{}
 					if side == 1 {
-						bucketFor(keys, key).e1 = append(bucketFor(keys, key).e1, id)
+						b := keys[key]
+						if b == nil {
+							b = &keyBucket{}
+							keys[key] = b
+						}
+						b.e1 = append(b.e1, id)
 					} else {
-						if _, ok := keys[key]; !ok {
+						b := keys[key]
+						if b == nil {
 							continue // key absent from KB1: can never pair
 						}
-						keys[key].e2 = append(keys[key].e2, id)
+						b.e2 = append(b.e2, id)
 					}
 				}
 			}
@@ -138,7 +144,7 @@ func AttributeClusteredBlocks(kb1, kb2 *kb.KB, clusters *AttributeClusters) *Col
 	}
 	collect(kb1, clusters.ByKB1, 1)
 	collect(kb2, clusters.ByKB2, 2)
-	return fromKeyMap(keys, kb1.Len(), kb2.Len())
+	return fromKeyMaps([]map[string]*keyBucket{keys}, kb1.Len(), kb2.Len())
 }
 
 type attrProfile struct {

@@ -9,9 +9,12 @@
 package blocking
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
 )
 
 // Block is one blocking-key bucket with members from both KBs.
@@ -68,15 +71,24 @@ func (c *Collection) sortBlocks() {
 	sort.Slice(c.Blocks, func(i, j int) bool { return c.Blocks[i].Key < c.Blocks[j].Key })
 }
 
-// fromKeyMap materializes a deterministic Collection out of per-key
-// member lists, dropping single-sided blocks.
-func fromKeyMap(keys map[string]*keyBucket, n1, n2 int) *Collection {
+// fromKeyMaps materializes a deterministic Collection out of per-shard,
+// per-key member lists, dropping single-sided blocks. Each key lives in
+// exactly one shard, so concatenating the shards and sorting by key
+// yields the same collection a single map would.
+func fromKeyMaps(shards []map[string]*keyBucket, n1, n2 int) *Collection {
 	c := NewCollection(n1, n2)
-	for key, b := range keys {
-		if len(b.e1) == 0 || len(b.e2) == 0 {
-			continue
+	total := 0
+	for _, m := range shards {
+		total += len(m)
+	}
+	c.Blocks = make([]Block, 0, total)
+	for _, m := range shards {
+		for key, b := range m {
+			if len(b.e1) == 0 || len(b.e2) == 0 {
+				continue
+			}
+			c.Blocks = append(c.Blocks, Block{Key: key, E1: b.e1, E2: b.e2})
 		}
-		c.Blocks = append(c.Blocks, Block{Key: key, E1: b.e1, E2: b.e2})
 	}
 	c.sortBlocks()
 	return c
@@ -93,13 +105,84 @@ type Index struct {
 	ByE2 [][]int32
 }
 
-// BuildIndex constructs the entity-to-blocks index for the collection.
+// BuildIndex constructs the entity-to-blocks index for the collection,
+// sharded across GOMAXPROCS workers; see BuildIndexN.
 func (c *Collection) BuildIndex() *Index {
+	return c.BuildIndexN(0)
+}
+
+// BuildIndexN is BuildIndex with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Each worker indexes a contiguous block range into a
+// partial index; per-entity lists are then concatenated in block-range
+// order, so every list stays sorted by block position and the result is
+// bit-identical at any worker count.
+func (c *Collection) BuildIndexN(workers int) *Index {
+	w := parallel.Workers(workers)
+	if w > len(c.Blocks) {
+		w = len(c.Blocks)
+	}
+	if w <= 1 {
+		idx := &Index{
+			ByE1: make([][]int32, c.n1),
+			ByE2: make([][]int32, c.n2),
+		}
+		c.indexRange(idx, 0, len(c.Blocks))
+		return idx
+	}
+	partials := make([]*Index, w)
+	chunk := (len(c.Blocks) + w - 1) / w
+	_ = parallel.For(context.Background(), w, w, func(worker, _, _ int) error {
+		lo := worker * chunk
+		if lo >= len(c.Blocks) {
+			return nil
+		}
+		hi := lo + chunk
+		if hi > len(c.Blocks) {
+			hi = len(c.Blocks)
+		}
+		p := &Index{
+			ByE1: make([][]int32, c.n1),
+			ByE2: make([][]int32, c.n2),
+		}
+		c.indexRange(p, lo, hi)
+		partials[worker] = p
+		return nil
+	})
 	idx := &Index{
 		ByE1: make([][]int32, c.n1),
 		ByE2: make([][]int32, c.n2),
 	}
-	for bi := range c.Blocks {
+	mergeIndexSide := func(out [][]int32, side func(*Index) [][]int32) {
+		_ = parallel.For(context.Background(), len(out), w, func(_, start, end int) error {
+			for e := start; e < end; e++ {
+				total := 0
+				for _, p := range partials {
+					if p != nil {
+						total += len(side(p)[e])
+					}
+				}
+				if total == 0 {
+					continue // keep nil, as the sequential path does
+				}
+				merged := make([]int32, 0, total)
+				for _, p := range partials {
+					if p != nil {
+						merged = append(merged, side(p)[e]...)
+					}
+				}
+				out[e] = merged
+			}
+			return nil
+		})
+	}
+	mergeIndexSide(idx.ByE1, func(p *Index) [][]int32 { return p.ByE1 })
+	mergeIndexSide(idx.ByE2, func(p *Index) [][]int32 { return p.ByE2 })
+	return idx
+}
+
+// indexRange appends the block positions [lo,hi) to the index.
+func (c *Collection) indexRange(idx *Index, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
 		b := &c.Blocks[bi]
 		for _, e := range b.E1 {
 			idx.ByE1[e] = append(idx.ByE1[e], int32(bi))
@@ -108,7 +191,6 @@ func (c *Collection) BuildIndex() *Index {
 			idx.ByE2[e] = append(idx.ByE2[e], int32(bi))
 		}
 	}
-	return idx
 }
 
 // Candidates1 returns the distinct KB2 entities co-occurring with e1 in
@@ -148,18 +230,29 @@ func collectCandidates(blockIDs []int32, blocks []Block, side1 bool) []kb.Entity
 
 // Union merges two collections over the same KB pair into one (keys are
 // namespaced by collection to avoid accidental merging of distinct
-// semantics, e.g. a name key equal to a token key).
+// semantics, e.g. a name key equal to a token key). The inputs must
+// have been built for the same KB sizes — a mismatched pair would
+// carry entity IDs beyond the other KB's range and panic or silently
+// drop members in BuildIndex — and member slices are copied, so the
+// merged collection shares no storage with its inputs.
 func Union(prefix1 string, a *Collection, prefix2 string, b *Collection) *Collection {
+	if a.n1 != b.n1 || a.n2 != b.n2 {
+		panic(fmt.Sprintf("blocking: Union over collections of mismatched KB sizes: (%d,%d) vs (%d,%d)",
+			a.n1, a.n2, b.n1, b.n2))
+	}
 	out := NewCollection(a.n1, a.n2)
 	out.Blocks = make([]Block, 0, len(a.Blocks)+len(b.Blocks))
-	for _, blk := range a.Blocks {
-		blk.Key = prefix1 + blk.Key
-		out.Blocks = append(out.Blocks, blk)
+	appendPrefixed := func(prefix string, blocks []Block) {
+		for _, blk := range blocks {
+			out.Blocks = append(out.Blocks, Block{
+				Key: prefix + blk.Key,
+				E1:  append([]kb.EntityID(nil), blk.E1...),
+				E2:  append([]kb.EntityID(nil), blk.E2...),
+			})
+		}
 	}
-	for _, blk := range b.Blocks {
-		blk.Key = prefix2 + blk.Key
-		out.Blocks = append(out.Blocks, blk)
-	}
+	appendPrefixed(prefix1, a.Blocks)
+	appendPrefixed(prefix2, b.Blocks)
 	out.sortBlocks()
 	return out
 }

@@ -26,6 +26,9 @@ type Result struct {
 	NameComparisons, TokenComparisons int64
 	// Purge describes what Block Purging removed from B_T.
 	Purge blocking.PurgeResult
+	// Skipped1 and Skipped2 count malformed lines skipped per source,
+	// for runs that ingest lenient raw sources (RunSources).
+	Skipped1, Skipped2 int
 	// Stages holds the per-stage wall-clock and allocation statistics of
 	// the executed plan, in plan order.
 	Stages []pipeline.StageStat
@@ -55,17 +58,24 @@ func NewMatcher(kb1, kb2 *kb.KB, cfg Config) (*Matcher, error) {
 // dropped. Callers may edit the returned plan (pipeline.Drop,
 // pipeline.Replace, pipeline.Until) before passing it to RunPlan.
 func (m *Matcher) Plan() []pipeline.Stage {
+	return PlanFor(m.cfg)
+}
+
+// PlanFor builds the matching plan a configuration calls for, without
+// needing built KBs: the full composition with the stages switched off
+// by the Disable flags dropped.
+func PlanFor(cfg Config) []pipeline.Stage {
 	plan := pipeline.DefaultPlan()
-	if m.cfg.DisableH1 {
+	if cfg.DisableH1 {
 		plan = pipeline.Drop(plan, pipeline.StageNameMatching)
 	}
-	if m.cfg.DisableH2 {
+	if cfg.DisableH2 {
 		plan = pipeline.Drop(plan, pipeline.StageValueMatching)
 	}
-	if m.cfg.DisableH3 {
+	if cfg.DisableH3 {
 		plan = pipeline.Drop(plan, pipeline.StageRankAggregation)
 	}
-	if m.cfg.DisableH4 {
+	if cfg.DisableH4 {
 		plan = pipeline.Drop(plan, pipeline.StageReciprocity)
 	}
 	return plan
@@ -107,6 +117,30 @@ func (m *Matcher) RunPlan(ctx context.Context, plan []pipeline.Stage, progress p
 	if err != nil {
 		return nil, err
 	}
+	return resultFromState(st, stats), nil
+}
+
+// RunSources runs the whole ingest-to-matches path — N-Triples parsing,
+// KB assembly, blocking, matching — as one instrumented plan over two
+// raw sources. It returns the Result together with the built KBs (for
+// URI translation and reuse). allocStats enables per-stage allocation
+// accounting; runs observed through a progress callback always record
+// it.
+func RunSources(ctx context.Context, src1, src2 pipeline.Source, cfg Config, progress pipeline.Progress, allocStats bool) (*Result, *kb.KB, *kb.KB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	st := pipeline.NewIngestState(src1, src2, cfg.params())
+	plan := append(pipeline.IngestPlan(), PlanFor(cfg)...)
+	eng := pipeline.Engine{Plan: plan, Progress: progress, AllocStats: allocStats || progress != nil}
+	stats, err := eng.Run(ctx, st)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return resultFromState(st, stats), st.KB1, st.KB2, nil
+}
+
+func resultFromState(st *pipeline.State, stats []pipeline.StageStat) *Result {
 	return &Result{
 		Matches:          st.Matches,
 		H1:               st.H1,
@@ -118,6 +152,8 @@ func (m *Matcher) RunPlan(ctx context.Context, plan []pipeline.Stage, progress p
 		NameComparisons:  st.NameComparisons,
 		TokenComparisons: st.TokenComparisons,
 		Purge:            st.PurgeStats,
+		Skipped1:         st.Skipped1,
+		Skipped2:         st.Skipped2,
 		Stages:           stats,
-	}, nil
+	}
 }

@@ -19,10 +19,13 @@
 package kb
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
+	"minoaner/internal/parallel"
 	"minoaner/internal/rdf"
 	"minoaner/internal/tokenize"
 )
@@ -173,20 +176,38 @@ func (kb *KB) sortedStats(m map[int32]*PredStat) []*PredStat {
 }
 
 // Builder accumulates triples and produces an immutable KB.
+//
+// Storage is term-interned: every distinct rdf.Term is stored once and
+// each recorded triple is three int32 references, which keeps large Web
+// crawls (whose URIs and literals repeat heavily) far below the cost of
+// holding full triples. Duplicates are removed by a sort+compact pass
+// at Build time (consecutive duplicates are dropped eagerly on Add).
 type Builder struct {
 	name    string
-	triples map[rdf.Triple]struct{}
 	opts    tokenize.Options
+	workers int
+
+	termIndex map[rdf.Term]int32
+	terms     []rdf.Term
+	triples   []tripleRef
 }
+
+// tripleRef is one recorded triple as indices into the term table.
+type tripleRef struct{ s, p, o int32 }
 
 // NewBuilder returns a Builder for a KB with the given display name,
 // tokenizing with tokenize.DefaultOptions.
 func NewBuilder(name string) *Builder {
-	return &Builder{name: name, triples: make(map[rdf.Triple]struct{})}
+	return &Builder{name: name, termIndex: make(map[rdf.Term]int32)}
 }
 
 // SetTokenizeOptions overrides the tokenizer configuration.
 func (b *Builder) SetTokenizeOptions(opts tokenize.Options) { b.opts = opts }
+
+// SetWorkers bounds the goroutines Build uses for its parallel passes.
+// Values <= 0 select GOMAXPROCS. The built KB is bit-identical at any
+// setting.
+func (b *Builder) SetWorkers(n int) { b.workers = n }
 
 // Add records one triple. Duplicates are ignored. Invalid triples are
 // rejected.
@@ -194,8 +215,22 @@ func (b *Builder) Add(t rdf.Triple) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	b.triples[t] = struct{}{}
+	ref := tripleRef{s: b.intern(t.Subject), p: b.intern(t.Predicate), o: b.intern(t.Object)}
+	if n := len(b.triples); n > 0 && b.triples[n-1] == ref {
+		return nil // cheap eager dedup of consecutive duplicates
+	}
+	b.triples = append(b.triples, ref)
 	return nil
+}
+
+func (b *Builder) intern(t rdf.Term) int32 {
+	if id, ok := b.termIndex[t]; ok {
+		return id
+	}
+	id := int32(len(b.terms))
+	b.terms = append(b.terms, t)
+	b.termIndex[t] = id
+	return id
 }
 
 // AddAll records a batch of triples, stopping at the first invalid one.
@@ -208,26 +243,84 @@ func (b *Builder) AddAll(ts []rdf.Triple) error {
 	return nil
 }
 
-// Len returns the number of distinct triples recorded so far.
+// AddFromReader streams an N-Triples document into the builder without
+// materializing a triple slice: each parsed triple is interned
+// immediately. Parsing is strict; use AddFromRDFReader with a lenient
+// rdf.Reader to skip malformed lines.
+func (b *Builder) AddFromReader(r io.Reader) error {
+	return b.AddFromRDFReaderContext(context.Background(), rdf.NewReader(r))
+}
+
+// AddFromRDFReader drains a caller-configured rdf.Reader (e.g. one in
+// lenient mode) into the builder.
+func (b *Builder) AddFromRDFReader(rr *rdf.Reader) error {
+	return b.AddFromRDFReaderContext(context.Background(), rr)
+}
+
+// ingestCancelStride is how many triples are ingested between context
+// checks in AddFromRDFReaderContext.
+const ingestCancelStride = 4096
+
+// AddFromRDFReaderContext drains an rdf.Reader under a context,
+// checking for cancellation every few thousand triples.
+func (b *Builder) AddFromRDFReaderContext(ctx context.Context, rr *rdf.Reader) error {
+	for n := 0; ; n++ {
+		if n%ingestCancelStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := b.Add(t); err != nil {
+			return err
+		}
+	}
+}
+
+// Len returns the number of triples recorded so far. Non-consecutive
+// duplicates are only removed at Build time, so this is an upper bound
+// on the distinct count.
 func (b *Builder) Len() int { return len(b.triples) }
+
+// refLess orders triple references by (subject, predicate, object)
+// under termLess. Distinct term IDs always denote distinct terms, so
+// this is a strict order with equal triples exactly at equal refs.
+func (b *Builder) refLess(x, y tripleRef) bool {
+	if x.s != y.s {
+		return termLess(b.terms[x.s], b.terms[y.s])
+	}
+	if x.p != y.p {
+		return termLess(b.terms[x.p], b.terms[y.p])
+	}
+	if x.o != y.o {
+		return termLess(b.terms[x.o], b.terms[y.o])
+	}
+	return false
+}
 
 // Build assembles the KB. The builder may be reused afterwards.
 func (b *Builder) Build() (*KB, error) {
-	triples := make([]rdf.Triple, 0, len(b.triples))
-	for t := range b.triples {
-		triples = append(triples, t)
+	workers := parallel.Workers(b.workers)
+
+	// Deterministic assembly independent of insertion order: sort all
+	// recorded refs (parallel chunk sort + merge), then compact exact
+	// duplicates, which replaces the full-triple dedup map.
+	refs := make([]tripleRef, len(b.triples))
+	copy(refs, b.triples)
+	b.sortRefs(refs, workers)
+	j := 0
+	for i := range refs {
+		if i > 0 && refs[i] == refs[i-1] {
+			continue
+		}
+		refs[j] = refs[i]
+		j++
 	}
-	// Deterministic assembly independent of map iteration order.
-	sort.Slice(triples, func(i, j int) bool {
-		a, c := triples[i], triples[j]
-		if a.Subject != c.Subject {
-			return termLess(a.Subject, c.Subject)
-		}
-		if a.Predicate != c.Predicate {
-			return termLess(a.Predicate, c.Predicate)
-		}
-		return termLess(a.Object, c.Object)
-	})
+	refs = refs[:j]
 
 	kb := &KB{
 		name:       b.name,
@@ -238,12 +331,23 @@ func (b *Builder) Build() (*KB, error) {
 		relStats:   make(map[int32]*PredStat),
 		typeSet:    make(map[string]struct{}),
 		vocabSet:   make(map[string]struct{}),
-		numTriples: len(triples),
+		numTriples: len(refs),
+	}
+
+	// Subject keys are needed once per distinct term; cache them so the
+	// two sequential passes do not re-derive (or re-allocate, for blank
+	// nodes) them per triple.
+	skey := make([]string, len(b.terms))
+	subjectKeyOf := func(id int32) string {
+		if skey[id] == "" {
+			skey[id] = subjectKey(b.terms[id])
+		}
+		return skey[id]
 	}
 
 	// Pass 1: every subject becomes an entity, in sorted order.
-	for _, t := range triples {
-		key := subjectKey(t.Subject)
+	for _, ref := range refs {
+		key := subjectKeyOf(ref.s)
 		if _, ok := kb.uriIndex[key]; !ok {
 			kb.uriIndex[key] = EntityID(len(kb.entities))
 			kb.entities = append(kb.entities, Entity{URI: key})
@@ -256,23 +360,24 @@ func (b *Builder) Build() (*KB, error) {
 	attrEnt := make(map[int32]map[EntityID]struct{})
 	relEnt := make(map[int32]map[EntityID]struct{})
 
-	for _, t := range triples {
-		subj := kb.uriIndex[subjectKey(t.Subject)]
-		pname := t.Predicate.Value
+	for _, ref := range refs {
+		subj := kb.uriIndex[subjectKeyOf(ref.s)]
+		obj := b.terms[ref.o]
+		pname := b.terms[ref.p].Value
 		kb.vocabSet[namespaceOf(pname)] = struct{}{}
 
-		if pname == RDFType && t.Object.IsIRI() {
-			kb.entities[subj].Types = append(kb.entities[subj].Types, t.Object.Value)
-			kb.typeSet[t.Object.Value] = struct{}{}
+		if pname == RDFType && obj.IsIRI() {
+			kb.entities[subj].Types = append(kb.entities[subj].Types, obj.Value)
+			kb.typeSet[obj.Value] = struct{}{}
 			continue
 		}
 
 		pid := kb.internPred(pname)
 		switch {
-		case t.Object.IsLiteral():
-			kb.addAttr(subj, pid, t.Object.Value, attrSeen, attrEnt, distinctKey{pid, t.Object.Value})
+		case obj.IsLiteral():
+			kb.addAttr(subj, pid, obj.Value, attrSeen, attrEnt, distinctKey{pid, obj.Value})
 		default: // IRI or blank object
-			okey := subjectKey(t.Object)
+			okey := subjectKeyOf(ref.o)
 			if tgt, ok := kb.uriIndex[okey]; ok {
 				// Relation edge within the entity graph.
 				kb.entities[subj].Out = append(kb.entities[subj].Out, Edge{Pred: pid, Target: tgt})
@@ -292,8 +397,10 @@ func (b *Builder) Build() (*KB, error) {
 			} else {
 				// Dangling URI: treated as an attribute value carrying the
 				// local name as its lexical form (the paper's bag-of-strings
-				// view keeps such evidence).
-				kb.addAttr(subj, pid, localName(t.Object.Value), attrSeen, attrEnt, distinctKey{pid, okey})
+				// view keeps such evidence). Values without a local name
+				// (IRIs ending in '/' or '#') carry no evidence and are
+				// dropped by addAttr.
+				kb.addAttr(subj, pid, localName(obj.Value), attrSeen, attrEnt, distinctKey{pid, okey})
 			}
 		}
 	}
@@ -314,22 +421,107 @@ func (b *Builder) Build() (*KB, error) {
 		st.Importance = importance(st, n)
 	}
 
-	// Pass 3: token bags and entity frequencies.
-	for i := range kb.entities {
-		e := &kb.entities[i]
-		values := make([]string, len(e.Attrs))
-		for j, av := range e.Attrs {
-			values[j] = av.Value
+	// Pass 3: token bags and entity frequencies, in parallel. Each
+	// worker tokenizes a contiguous entity range into a private EF map;
+	// the merged sums are independent of merge order, so the result is
+	// bit-identical at any worker count.
+	type efShard struct {
+		ef    map[string]int32
+		total int
+	}
+	shards := make([]efShard, workers)
+	_ = parallel.For(context.Background(), len(kb.entities), workers, func(worker, start, end int) error {
+		ef := make(map[string]int32)
+		total := 0
+		for i := start; i < end; i++ {
+			e := &kb.entities[i]
+			values := make([]string, len(e.Attrs))
+			for j, av := range e.Attrs {
+				values[j] = av.Value
+			}
+			toks := tokenize.Unique(tokenize.TokensOfAll(values, b.opts))
+			sort.Strings(toks)
+			e.Tokens = toks
+			total += len(toks)
+			for _, tok := range toks {
+				ef[tok]++
+			}
 		}
-		toks := tokenize.Unique(tokenize.TokensOfAll(values, b.opts))
-		sort.Strings(toks)
-		e.Tokens = toks
-		kb.totalTokens += len(toks)
-		for _, tok := range toks {
-			kb.ef[tok]++
+		shards[worker] = efShard{ef: ef, total: total}
+		return nil
+	})
+	for _, sh := range shards {
+		kb.totalTokens += sh.total
+		for tok, c := range sh.ef {
+			kb.ef[tok] += c
 		}
 	}
 	return kb, nil
+}
+
+// sortRefs sorts triple refs with a parallel chunk sort followed by
+// bottom-up pairwise merges. Equal elements are identical tripleRef
+// values, so merge order cannot affect the result.
+func (b *Builder) sortRefs(refs []tripleRef, workers int) {
+	n := len(refs)
+	const minParallelSort = 1 << 14
+	if workers <= 1 || n < minParallelSort {
+		sort.Slice(refs, func(i, j int) bool { return b.refLess(refs[i], refs[j]) })
+		return
+	}
+	width := (n + workers - 1) / workers
+	_ = parallel.For(context.Background(), workers, workers, func(w, _, _ int) error {
+		lo := w * width
+		if lo >= n {
+			return nil
+		}
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		chunk := refs[lo:hi]
+		sort.Slice(chunk, func(i, j int) bool { return b.refLess(chunk[i], chunk[j]) })
+		return nil
+	})
+	src, dst := refs, make([]tripleRef, n)
+	for ; width < n; width *= 2 {
+		pairs := (n + 2*width - 1) / (2 * width)
+		_ = parallel.For(context.Background(), pairs, workers, func(_, start, end int) error {
+			for p := start; p < end; p++ {
+				lo := p * 2 * width
+				mid, hi := lo+width, lo+2*width
+				if mid > n {
+					mid = n
+				}
+				if hi > n {
+					hi = n
+				}
+				b.mergeRefs(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}
+			return nil
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &refs[0] {
+		copy(refs, src)
+	}
+}
+
+// mergeRefs merges two sorted runs into out (len(out) == len(a)+len(c)).
+func (b *Builder) mergeRefs(out, a, c []tripleRef) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(c) {
+		if b.refLess(c[j], a[i]) {
+			out[k] = c[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], c[j:])
 }
 
 // distinctKey identifies one (predicate, object) pair for counting the
@@ -340,6 +532,12 @@ type distinctKey struct {
 }
 
 func (kb *KB) addAttr(subj EntityID, pid int32, value string, seen map[distinctKey]struct{}, perEnt map[int32]map[EntityID]struct{}, dk distinctKey) {
+	if value == "" {
+		// Empty lexical forms (empty literals, or dangling IRIs with no
+		// local name) carry no matching evidence; recording them would
+		// only distort attribute statistics and token bags.
+		return
+	}
 	kb.entities[subj].Attrs = append(kb.entities[subj].Attrs, AttrValue{Pred: pid, Value: value})
 	st := kb.statFor(kb.attrStats, pid)
 	if _, ok := seen[dk]; !ok {
@@ -418,9 +616,12 @@ func namespaceOf(iri string) string {
 }
 
 // localName returns the fragment of an IRI after the last '#' or '/',
-// used to salvage tokens from dangling URI objects.
+// used to salvage tokens from dangling URI objects. An IRI ending in
+// its separator (e.g. "http://ex.org/") has no local name and yields
+// "": returning the whole IRI there would flood token bags with URL
+// fragments ("http", "ex", "org").
 func localName(iri string) string {
-	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 {
 		return iri[i+1:]
 	}
 	return iri

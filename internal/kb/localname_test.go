@@ -1,0 +1,80 @@
+package kb
+
+// Regression tests for the localName / empty-value boundary fixes: an
+// IRI ending in '/' or '#' has no local name and must contribute
+// nothing (previously the whole IRI leaked into the token bag as
+// "http", "ex", "org", ...), and empty attribute values must be
+// dropped rather than recorded.
+//
+// Golden-test impact: none — the four synthetic benchmarks contain no
+// trailing-separator dangling IRIs and no empty literals, so every
+// golden, metric, and experiment expectation is unchanged (verified by
+// the full suite passing with these fixes in place).
+
+import (
+	"testing"
+
+	"minoaner/internal/rdf"
+)
+
+func TestLocalName(t *testing.T) {
+	cases := map[string]string{
+		"http://ex.org/path/Thing": "Thing",
+		"http://ex.org/onto#Thing": "Thing",
+		"http://ex.org/":           "",
+		"http://ex.org/onto#":      "",
+		"urn-like-no-separator":    "urn-like-no-separator",
+	}
+	for iri, want := range cases {
+		if got := localName(iri); got != want {
+			t.Errorf("localName(%q) = %q, want %q", iri, got, want)
+		}
+	}
+}
+
+func TestTrailingSeparatorDanglingURIDropped(t *testing.T) {
+	triples := []rdf.Triple{
+		tr("http://e/x", "http://v/homepage", iri("http://ex.org/")),
+		tr("http://e/x", "http://v/name", lit("Joe")),
+	}
+	kb, err := FromTriples("trailing", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := kb.Lookup("http://e/x")
+	for _, tok := range kb.Tokens(x) {
+		if tok == "http" || tok == "ex" || tok == "org" {
+			t.Errorf("URL fragment %q leaked into the token bag", tok)
+		}
+	}
+	if got := kb.Tokens(x); len(got) != 1 || got[0] != "joe" {
+		t.Errorf("tokens = %v, want [joe]", got)
+	}
+	// The homepage predicate recorded no usable value, so it must not
+	// surface as an attribute with support.
+	if pid, ok := kb.PredID("http://v/homepage"); ok {
+		if st := kb.AttrStat(pid); st != nil {
+			t.Errorf("trailing-separator value still counted: %+v", st)
+		}
+	}
+}
+
+func TestEmptyLiteralDropped(t *testing.T) {
+	triples := []rdf.Triple{
+		tr("http://e/x", "http://v/note", lit("")),
+		tr("http://e/x", "http://v/name", lit("Joe")),
+	}
+	kb, err := FromTriples("empty-lit", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := kb.Lookup("http://e/x")
+	if got := len(kb.Entity(x).Attrs); got != 1 {
+		t.Errorf("attrs = %d, want 1 (empty literal dropped)", got)
+	}
+	if pid, ok := kb.PredID("http://v/note"); ok {
+		if st := kb.AttrStat(pid); st != nil {
+			t.Errorf("empty literal still counted: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package parallel provides the deterministic data-parallel primitives
+// shared by the ingest, blocking, and matching layers: a chunked
+// parallel for-loop with error and cancellation propagation, a worker
+// count resolver, and a stable string shard hash.
+//
+// Everything here is designed so that results are bit-identical at any
+// worker count: For hands each worker a contiguous, non-overlapping
+// index range, and ShardOf assigns every key to exactly one worker
+// independent of scheduling.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// CancelCheckStride is how many per-item iterations a parallel loop
+// body should run between context checks: frequent enough that
+// cancellation lands within milliseconds, rare enough to stay off the
+// profile.
+const CancelCheckStride = 256
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits [0,n) into contiguous chunks across min(workers,n)
+// goroutines. The work function receives its worker index and chunk
+// bounds; chunks do not overlap, so no synchronization is needed on
+// per-index outputs. The first non-nil error wins; a cancelled context
+// surfaces as ctx.Err() even if no worker observed it.
+func For(ctx context.Context, n, workers int, work func(worker, start, end int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return work(0, 0, n)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(worker, s, e int) {
+			defer wg.Done()
+			if err := work(worker, s, e); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ShardOf maps a key to one of `shards` workers with FNV-1a, so that
+// key-sharded loops partition work identically on every run and at
+// every worker count that divides the key space the same way.
+func ShardOf(key string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return int(h % uint32(shards))
+}

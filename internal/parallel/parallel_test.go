@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+func TestForCoversAll(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		n := 57
+		covered := make([]int32, n)
+		err := For(ctx, n, workers, func(worker, start, end int) error {
+			for i := start; i < end; i++ {
+				covered[i]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+	err := For(ctx, 0, 4, func(worker, start, end int) error {
+		t.Error("work called for n=0")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	err := For(context.Background(), 40, 4, func(worker, start, end int) error {
+		if start == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = For(ctx, 40, 4, func(worker, start, end int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err = %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	keys := []string{"", "a", "token", "entity name key", "日本語"}
+	for _, k := range keys {
+		for _, shards := range []int{1, 2, 4, 8} {
+			s := ShardOf(k, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", k, shards, s)
+			}
+			if again := ShardOf(k, shards); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d vs %d", k, shards, s, again)
+			}
+		}
+	}
+	// The hash should actually spread keys: with many keys and 8 shards,
+	// more than one shard must be hit.
+	hit := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		hit[ShardOf(string(rune('a'+i%26))+string(rune('0'+i%10)), 8)] = true
+	}
+	if len(hit) < 2 {
+		t.Errorf("ShardOf degenerate: all keys in one shard")
+	}
+}

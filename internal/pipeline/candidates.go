@@ -4,10 +4,10 @@ import (
 	"context"
 	"math"
 	"sort"
-	"sync"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
 )
 
 // Cand is one candidate match of an entity, with its similarity under
@@ -207,55 +207,12 @@ func (a *accumulator) topK(k int) []Cand {
 }
 
 // cancelCheckStride is how many per-entity iterations a parallel loop
-// runs between context checks: frequent enough that cancellation lands
-// within milliseconds, rare enough to stay off the profile.
-const cancelCheckStride = 256
+// runs between context checks; see parallel.CancelCheckStride.
+const cancelCheckStride = parallel.CancelCheckStride
 
-// parallelFor splits [0,n) into contiguous chunks across min(workers,n)
-// goroutines. The work function receives its worker index and chunk
-// bounds; chunks do not overlap, so no synchronization is needed on
-// per-index outputs. The first non-nil error wins; a cancelled context
-// surfaces as ctx.Err() even if no worker observed it.
+// parallelFor is the shared chunked parallel loop, promoted to
+// internal/parallel so the ingest and blocking layers use the same
+// primitive.
 func parallelFor(ctx context.Context, n, workers int, work func(worker, start, end int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		return work(0, 0, n)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(worker, s, e int) {
-			defer wg.Done()
-			if err := work(worker, s, e); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(w, start, end)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return parallel.For(ctx, n, workers, work)
 }

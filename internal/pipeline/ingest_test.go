@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const ingestDoc1 = `<http://e/r1> <http://v/name> "Joe's Diner" .
+<http://e/r1> <http://v/phone> "555-1234" .
+<http://e/r2> <http://v/name> "Central Cafe" .
+`
+
+const ingestDoc2 = `<http://e2/a> <http://v/name> "Joe's Diner" .
+this line is garbage
+<http://e2/b> <http://v/name> "Central Cafe" .
+`
+
+func ingestParams() Params {
+	return Params{K: 15, N: 3, NameK: 2, Theta: 0.6, Workers: 2}
+}
+
+func TestIngestStagesBuildKBs(t *testing.T) {
+	st := NewIngestState(
+		Source{Name: "KB1", R: strings.NewReader(ingestDoc1)},
+		Source{Name: "KB2", R: strings.NewReader(ingestDoc2), Lenient: true},
+		ingestParams(),
+	)
+	eng := Engine{Plan: IngestPlan()}
+	if _, err := eng.Run(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	if st.KB1 == nil || st.KB2 == nil {
+		t.Fatal("KBs not published")
+	}
+	if st.KB1.Len() != 2 || st.KB2.Len() != 2 {
+		t.Errorf("KB sizes = (%d,%d), want (2,2)", st.KB1.Len(), st.KB2.Len())
+	}
+	if st.KB1.Name() != "KB1" || st.KB2.Name() != "KB2" {
+		t.Errorf("KB names = (%q,%q)", st.KB1.Name(), st.KB2.Name())
+	}
+	if st.Skipped1 != 0 || st.Skipped2 != 1 {
+		t.Errorf("skipped = (%d,%d), want (0,1)", st.Skipped1, st.Skipped2)
+	}
+}
+
+func TestIngestStrictSourceFails(t *testing.T) {
+	st := NewIngestState(
+		Source{Name: "KB1", R: strings.NewReader(ingestDoc1)},
+		Source{Name: "KB2", R: strings.NewReader(ingestDoc2)}, // garbage line, strict
+		ingestParams(),
+	)
+	eng := Engine{Plan: IngestPlan()}
+	if _, err := eng.Run(context.Background(), st); err == nil {
+		t.Fatal("strict ingest of a malformed source succeeded")
+	}
+}
+
+func TestIngestRequiresSources(t *testing.T) {
+	st := NewState(nil, nil, ingestParams())
+	eng := Engine{Plan: []Stage{Ingest()}}
+	if _, err := eng.Run(context.Background(), st); err == nil {
+		t.Fatal("ingest without sources succeeded")
+	}
+}
+
+func TestKBBuildRequiresIngest(t *testing.T) {
+	st := NewIngestState(Source{Name: "a", R: strings.NewReader("")}, Source{Name: "b", R: strings.NewReader("")}, ingestParams())
+	eng := Engine{Plan: []Stage{KBBuild()}}
+	if _, err := eng.Run(context.Background(), st); err == nil {
+		t.Fatal("kb-build without ingest succeeded")
+	}
+}
+
+func TestIngestHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := NewIngestState(
+		Source{Name: "KB1", R: strings.NewReader(ingestDoc1)},
+		Source{Name: "KB2", R: strings.NewReader(ingestDoc2), Lenient: true},
+		ingestParams(),
+	)
+	eng := Engine{Plan: IngestPlan()}
+	if _, err := eng.Run(ctx, st); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,10 +7,14 @@ import (
 	"minoaner/internal/blocking"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/rdf"
 )
 
 // Stage names, usable with Drop, Replace, and Until to edit plans.
 const (
+	StageIngest             = "ingest"
+	StageKBBuild            = "kb-build"
 	StageNameBlocking       = "name-blocking"
 	StageTokenBlocking      = "token-blocking"
 	StageBlockPurging       = "block-purging"
@@ -46,11 +50,76 @@ func DefaultPlan() []Stage {
 	}
 }
 
+// IngestPlan returns the ingest prefix — N-Triples parsing and KB
+// assembly as instrumented, cancellable stages — to prepend to a
+// matching plan when the run starts from raw sources instead of built
+// KBs (see NewIngestState).
+func IngestPlan() []Stage {
+	return []Stage{Ingest(), KBBuild()}
+}
+
+// Ingest parses both sources into streaming KB builders, one goroutine
+// per source. Lenient sources record their skipped line counts on the
+// State.
+func Ingest() Stage {
+	return newStage(StageIngest, func(ctx context.Context, st *State) error {
+		if st.Source1 == nil || st.Source2 == nil {
+			return errors.New("requires two sources (build the state with NewIngestState)")
+		}
+		srcs := [2]*Source{st.Source1, st.Source2}
+		var builders [2]*kb.Builder
+		var skipped [2]int
+		err := parallel.For(ctx, 2, 2, func(_, start, end int) error {
+			for i := start; i < end; i++ {
+				b := kb.NewBuilder(srcs[i].Name)
+				b.SetWorkers(st.Params.workers())
+				rr := rdf.NewReader(srcs[i].R)
+				rr.SetLenient(srcs[i].Lenient)
+				if err := b.AddFromRDFReaderContext(ctx, rr); err != nil {
+					return err
+				}
+				builders[i] = b
+				skipped[i] = rr.Skipped()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.Builder1, st.Builder2 = builders[0], builders[1]
+		st.Skipped1, st.Skipped2 = skipped[0], skipped[1]
+		return nil
+	})
+}
+
+// KBBuild assembles the two KBs from the ingested builders (each build
+// runs its own internal parallel passes).
+func KBBuild() Stage {
+	return newStage(StageKBBuild, func(ctx context.Context, st *State) error {
+		if st.Builder1 == nil || st.Builder2 == nil {
+			return errors.New("requires ingested builders (run " + StageIngest + " first)")
+		}
+		kb1, err := st.Builder1.Build()
+		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		kb2, err := st.Builder2.Build()
+		if err != nil {
+			return err
+		}
+		st.KB1, st.KB2 = kb1, kb2
+		return nil
+	})
+}
+
 // NameBlocking builds B_N: one block per normalized name key of the
 // KBs' most distinctive attributes.
 func NameBlocking() Stage {
 	return newStage(StageNameBlocking, func(ctx context.Context, st *State) error {
-		st.NameBlocks = blocking.NameBlocks(st.KB1, st.KB2, st.Params.NameK)
+		st.NameBlocks = blocking.NameBlocksN(st.KB1, st.KB2, st.Params.NameK, st.Params.workers())
 		st.NameBlockCount = st.NameBlocks.Size()
 		st.NameComparisons = st.NameBlocks.Comparisons()
 		return nil
@@ -61,7 +130,7 @@ func NameBlocking() Stage {
 // both KBs.
 func TokenBlocking() Stage {
 	return newStage(StageTokenBlocking, func(ctx context.Context, st *State) error {
-		st.TokenBlocks = blocking.TokenBlocks(st.KB1, st.KB2)
+		st.TokenBlocks = blocking.TokenBlocksN(st.KB1, st.KB2, st.Params.workers())
 		return nil
 	})
 }
@@ -108,7 +177,7 @@ func BlockIndexing() Stage {
 		if st.TokenBlocks == nil {
 			return errors.New("requires token blocks (run " + StageTokenBlocking + " first)")
 		}
-		st.TokenIndex = st.TokenBlocks.BuildIndex()
+		st.TokenIndex = st.TokenBlocks.BuildIndexN(st.Params.workers())
 		return nil
 	})
 }

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -10,46 +11,93 @@ import (
 )
 
 // ParseError describes a syntax error at a specific line of an N-Triples
-// document.
+// document. Err, when non-nil, is the underlying cause (for example
+// bufio.ErrTooLong for an oversize line, or an I/O error from the
+// source) and is reachable through errors.Is / errors.As.
 type ParseError struct {
 	Line int    // 1-based line number
 	Msg  string // human-readable description
+	Err  error  // underlying cause, if any
 }
 
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("rdf: line %d: %s", e.Line, e.Msg)
 }
 
+// Unwrap exposes the underlying cause for errors.Is / errors.As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// DefaultMaxLineBytes is the longest physical line Reader accepts by
+// default. Longer lines are reported as *ParseError wrapping
+// bufio.ErrTooLong (and skipped, in lenient mode).
+const DefaultMaxLineBytes = 16 * 1024 * 1024
+
+// errOversize marks a physical line that exceeded the reader's limit.
+// The line is fully consumed, so reading can continue past it.
+var errOversize = errors.New("rdf: line too long")
+
 // Reader parses N-Triples documents (https://www.w3.org/TR/n-triples/)
 // line by line. It tolerates blank lines and '#' comments. Malformed
-// lines produce *ParseError; in lenient mode they are skipped and
-// counted instead.
+// lines — including lines longer than the configured limit — produce
+// *ParseError carrying the line number; in lenient mode they are
+// skipped and counted instead. I/O failures of the underlying source
+// are also wrapped in *ParseError (with the failing line) but are
+// returned even in lenient mode, since no further progress is possible.
 type Reader struct {
-	scan    *bufio.Scanner
+	br      *bufio.Reader
 	line    int
 	lenient bool
 	skipped int
+	maxLine int
 }
 
 // NewReader returns a Reader over r in strict mode.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Reader{scan: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024), maxLine: DefaultMaxLineBytes}
 }
 
 // SetLenient toggles lenient mode: malformed lines are skipped rather
 // than returned as errors.
 func (r *Reader) SetLenient(lenient bool) { r.lenient = lenient }
 
-// Skipped returns the number of malformed lines skipped in lenient mode.
+// SetMaxLineBytes overrides the physical line-length limit
+// (DefaultMaxLineBytes). Values <= 0 restore the default.
+func (r *Reader) SetMaxLineBytes(n int) {
+	if n <= 0 {
+		n = DefaultMaxLineBytes
+	}
+	r.maxLine = n
+}
+
+// Skipped returns the number of malformed lines (including oversize
+// ones) skipped in lenient mode.
 func (r *Reader) Skipped() int { return r.skipped }
 
 // Next returns the next triple, or io.EOF when the document is exhausted.
 func (r *Reader) Next() (Triple, error) {
-	for r.scan.Scan() {
+	for {
+		raw, err := r.readLine()
+		if err == io.EOF {
+			return Triple{}, io.EOF
+		}
 		r.line++
-		line := strings.TrimSpace(r.scan.Text())
+		if err == errOversize {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return Triple{}, &ParseError{
+				Line: r.line,
+				Msg:  fmt.Sprintf("line exceeds %d bytes", r.maxLine),
+				Err:  bufio.ErrTooLong,
+			}
+		}
+		if err != nil {
+			// An I/O failure is not skippable: the source cannot make
+			// progress, so lenient mode surfaces it too.
+			return Triple{}, &ParseError{Line: r.line, Msg: "read error: " + err.Error(), Err: err}
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -63,10 +111,61 @@ func (r *Reader) Next() (Triple, error) {
 		}
 		return t, nil
 	}
-	if err := r.scan.Err(); err != nil {
-		return Triple{}, err
+}
+
+// readLine returns the next physical line without its newline. It
+// reports errOversize for a line whose content (excluding the trailing
+// newline) exceeds maxLine, after consuming the whole line, so the
+// reader can continue behind it. io.EOF is returned only when no bytes
+// remain; a final line without a newline is returned normally.
+func (r *Reader) readLine() (string, error) {
+	var buf []byte
+	oversize := false
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		if len(frag) > 0 && !oversize {
+			content := len(frag)
+			if frag[content-1] == '\n' {
+				content-- // the terminator does not count against the limit
+			}
+			if len(buf)+content > r.maxLine {
+				oversize = true
+				buf = nil
+			} else {
+				buf = append(buf, frag...)
+			}
+		}
+		switch err {
+		case nil:
+			if oversize {
+				return "", errOversize
+			}
+			return string(trimEOL(buf)), nil
+		case bufio.ErrBufferFull:
+			continue // line continues past the buffered fragment
+		case io.EOF:
+			if oversize {
+				return "", errOversize
+			}
+			if len(buf) == 0 {
+				return "", io.EOF
+			}
+			return string(trimEOL(buf)), nil
+		default:
+			return "", err
+		}
 	}
-	return Triple{}, io.EOF
+}
+
+// trimEOL strips a trailing "\n" or "\r\n".
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
 }
 
 // ReadAll consumes the rest of the document and returns all triples.

@@ -1,0 +1,163 @@
+package rdf
+
+// Regression tests for the oversize-line and I/O-failure paths of
+// Reader: scanner-level failures used to surface as bare errors with no
+// line number, and lenient mode could not skip past them (the old
+// bufio.Scanner stops permanently on ErrTooLong).
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func oversizeDoc() string {
+	long := "<http://e/long> <http://v/p> \"" + strings.Repeat("x", 300) + "\" .\n"
+	return "<http://e/a> <http://v/p> \"ok\" .\n" +
+		long +
+		"<http://e/b> <http://v/p> \"also ok\" .\n"
+}
+
+func TestOversizeLineStrict(t *testing.T) {
+	r := NewReader(strings.NewReader(oversizeDoc()))
+	r.SetMaxLineBytes(128)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first triple: %v", err)
+	}
+	_, err := r.Next()
+	var perr *ParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("oversize line error = %v (%T), want *ParseError", err, err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("line = %d, want 2", perr.Line)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not unwrap to bufio.ErrTooLong: %v", err)
+	}
+}
+
+func TestOversizeLineLenientSkipsAndContinues(t *testing.T) {
+	r := NewReader(strings.NewReader(oversizeDoc()))
+	r.SetMaxLineBytes(128)
+	r.SetLenient(true)
+	var got []string
+	for {
+		tr, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tr.Subject.Value)
+	}
+	want := []string{"http://e/a", "http://e/b"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("subjects = %v, want %v", got, want)
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped() = %d, want 1 (the oversize line)", r.Skipped())
+	}
+}
+
+// TestOversizeLineLongerThanBuffer exercises a line that spans many
+// bufio fills (ErrBufferFull) before the limit trips.
+func TestOversizeLineLongerThanBuffer(t *testing.T) {
+	long := "<http://e/x> <http://v/p> \"" + strings.Repeat("y", 200*1024) + "\" .\n"
+	doc := long + "<http://e/a> <http://v/p> \"ok\" .\n"
+	r := NewReader(strings.NewReader(doc))
+	r.SetMaxLineBytes(100 * 1024)
+	r.SetLenient(true)
+	tr, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Subject.Value != "http://e/a" {
+		t.Errorf("subject = %q, want the triple behind the oversize line", tr.Subject.Value)
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped() = %d, want 1", r.Skipped())
+	}
+}
+
+func TestDefaultLimitAcceptsLongLines(t *testing.T) {
+	// A 128KB line is far beyond the 64KB bufio buffer but well inside
+	// DefaultMaxLineBytes: it must parse.
+	doc := "<http://e/x> <http://v/p> \"" + strings.Repeat("z", 128*1024) + "\" .\n"
+	r := NewReader(strings.NewReader(doc))
+	tr, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Object.Value) != 128*1024 {
+		t.Errorf("literal length = %d", len(tr.Object.Value))
+	}
+}
+
+// failingReader yields some valid content, then an I/O error.
+type failingReader struct {
+	data string
+	err  error
+	done bool
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if !f.done {
+		f.done = true
+		return copy(p, f.data), nil
+	}
+	return 0, f.err
+}
+
+func TestIOErrorWrappedWithLine(t *testing.T) {
+	boom := fmt.Errorf("disk gone")
+	r := NewReader(&failingReader{data: "<http://e/a> <http://v/p> \"ok\" .\n", err: boom})
+	r.SetLenient(true) // even lenient mode must surface I/O failures
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first triple: %v", err)
+	}
+	_, err := r.Next()
+	var perr *ParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("I/O error = %v (%T), want *ParseError", err, err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error does not unwrap to the I/O cause: %v", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("line = %d, want 2", perr.Line)
+	}
+}
+
+func TestMaxLineBoundaryExcludesNewline(t *testing.T) {
+	// A line of exactly maxLine content bytes must parse whether it is
+	// newline-terminated or the final unterminated line.
+	line := "<http://e/x> <http://v/p> \"pad\" ."
+	for _, doc := range []string{line + "\n", line} {
+		r := NewReader(strings.NewReader(doc))
+		r.SetMaxLineBytes(len(line))
+		if _, err := r.Next(); err != nil {
+			t.Errorf("line at exactly the limit rejected (terminated=%v): %v",
+				strings.HasSuffix(doc, "\n"), err)
+		}
+	}
+	// One byte over the limit must be rejected.
+	r := NewReader(strings.NewReader(line + "\n"))
+	r.SetMaxLineBytes(len(line) - 1)
+	if _, err := r.Next(); !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("line over the limit: err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestSetMaxLineBytesResetsDefault(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	r.SetMaxLineBytes(10)
+	r.SetMaxLineBytes(0)
+	if r.maxLine != DefaultMaxLineBytes {
+		t.Errorf("maxLine = %d, want default", r.maxLine)
+	}
+}

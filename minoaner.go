@@ -123,21 +123,12 @@ type KBStats struct {
 }
 
 // LoadKB parses an N-Triples document into a KB with the given display
-// name.
+// name. Parsing streams straight into the KB builder: triples are
+// interned as they are read, never materialized as a slice.
 func LoadKB(name string, r io.Reader) (*KB, error) {
-	reader := rdf.NewReader(r)
 	b := kb.NewBuilder(name)
-	for {
-		t, err := reader.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := b.Add(t); err != nil {
-			return nil, err
-		}
+	if err := b.AddFromReader(r); err != nil {
+		return nil, err
 	}
 	built, err := b.Build()
 	if err != nil {
@@ -157,23 +148,15 @@ func LoadKBFile(name, path string) (*KB, error) {
 }
 
 // LoadKBLenient parses an N-Triples document, skipping malformed lines
-// instead of failing — real Web crawls routinely contain them. It
-// returns the KB and the number of lines skipped.
+// (including oversize ones) instead of failing — real Web crawls
+// routinely contain them. It returns the KB and the number of lines
+// skipped.
 func LoadKBLenient(name string, r io.Reader) (*KB, int, error) {
 	reader := rdf.NewReader(r)
 	reader.SetLenient(true)
 	b := kb.NewBuilder(name)
-	for {
-		t, err := reader.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, reader.Skipped(), err
-		}
-		if err := b.Add(t); err != nil {
-			return nil, reader.Skipped(), err
-		}
+	if err := b.AddFromRDFReader(reader); err != nil {
+		return nil, reader.Skipped(), err
 	}
 	built, err := b.Build()
 	if err != nil {
@@ -237,6 +220,9 @@ type Result struct {
 	NameComparisons, TokenComparisons int64
 	// PurgedBlocks counts token blocks removed by Block Purging.
 	PurgedBlocks int
+	// SkippedLines1 and SkippedLines2 count the malformed lines skipped
+	// per source on lenient ResolveReaders runs; zero otherwise.
+	SkippedLines1, SkippedLines2 int
 	// StageTimings reports the pipeline stages executed for this run, in
 	// order, with their wall-clock and allocation cost.
 	StageTimings []StageTiming
@@ -317,6 +303,11 @@ func ResolveContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Resol
 	if err != nil {
 		return nil, err
 	}
+	return newResult(res, kb1.kb, kb2.kb), nil
+}
+
+// newResult translates a core result into the public Result.
+func newResult(res *core.Result, kb1, kb2 *kb.KB) *Result {
 	out := &Result{
 		ByName:                 len(res.H1),
 		ByValue:                len(res.H2),
@@ -327,9 +318,11 @@ func ResolveContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Resol
 		NameComparisons:        res.NameComparisons,
 		TokenComparisons:       res.TokenComparisons,
 		PurgedBlocks:           res.Purge.RemovedBlocks,
+		SkippedLines1:          res.Skipped1,
+		SkippedLines2:          res.Skipped2,
 		StageTimings:           make([]StageTiming, len(res.Stages)),
-		kb1:                    kb1.kb,
-		kb2:                    kb2.kb,
+		kb1:                    kb1,
+		kb2:                    kb2,
 		pairs:                  res.Matches,
 	}
 	for i, s := range res.Stages {
@@ -337,13 +330,58 @@ func ResolveContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Resol
 	}
 	out.Matches = make([]Match, len(res.Matches))
 	for i, p := range res.Matches {
-		out.Matches[i] = Match{URI1: kb1.kb.URI(p.E1), URI2: kb2.kb.URI(p.E2)}
+		out.Matches[i] = Match{URI1: kb1.URI(p.E1), URI2: kb2.URI(p.E2)}
 	}
-	return out, nil
+	return out
 }
 
 func stageTiming(s pipeline.StageStat) StageTiming {
 	return StageTiming{Stage: s.Stage, Duration: s.Duration, AllocBytes: s.AllocBytes}
+}
+
+// Source is one raw N-Triples input of a ResolveReaders run.
+type Source struct {
+	// Name is the display name of the KB built from this source.
+	Name string
+	// R supplies the N-Triples document.
+	R io.Reader
+	// Lenient skips malformed (and oversize) lines instead of failing,
+	// counting them in Result.SkippedLines1/SkippedLines2.
+	Lenient bool
+}
+
+// ResolveReaders runs the whole ingest-to-matches path on two raw
+// N-Triples sources as one instrumented pipeline: parsing, KB assembly,
+// blocking, and matching all appear in Result.StageTimings (stages
+// "ingest" and "kb-build" precede the matching stages), and
+// cancellation is honored inside ingest as well as matching. It is
+// equivalent to LoadKB + ResolveContext but streams triples straight
+// into interned builders and parses the two sources concurrently.
+func ResolveReaders(ctx context.Context, src1, src2 Source, cfg Config, opts ...ResolveOption) (*Result, error) {
+	var o resolveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var progress pipeline.Progress
+	if o.progress != nil {
+		progress = func(ev pipeline.ProgressEvent) {
+			o.progress(StageProgress{
+				Stage:  ev.Stage,
+				Index:  ev.Index,
+				Total:  ev.Total,
+				Done:   ev.Done,
+				Timing: stageTiming(ev.Stat),
+			})
+		}
+	}
+	res, kb1, kb2, err := core.RunSources(ctx,
+		pipeline.Source{Name: src1.Name, R: src1.R, Lenient: src1.Lenient},
+		pipeline.Source{Name: src2.Name, R: src2.R, Lenient: src2.Lenient},
+		cfg.internal(), progress, false)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res, kb1, kb2), nil
 }
 
 // DedupConfig tunes single-KB deduplication (dirty ER).
