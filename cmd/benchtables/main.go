@@ -9,6 +9,8 @@
 //	benchtables -json BENCH_pipeline.json   # per-stage pipeline timings
 //	benchtables -ingest-json BENCH_ingest.json -ingest-workers 1,2,4,8
 //	                              # ingest-to-matches profile across worker counts
+//	benchtables -query-json BENCH_query.json
+//	                              # index build/save/load cost + per-query latency
 //
 // Absolute numbers differ from the paper (the substrates are synthetic
 // stand-ins; see DESIGN.md §2); the comparative shapes are the
@@ -24,10 +26,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"minoaner"
 	"minoaner/internal/core"
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
@@ -201,6 +205,129 @@ func writeIngestBench(path string, datasets []*datagen.Dataset, seed int64, scal
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// queryDatasetJSON profiles the query path of one benchmark: index
+// build and snapshot round-trip cost, then the latency of resolving
+// every KB2 entity one query at a time against the loaded index.
+type queryDatasetJSON struct {
+	Name          string `json:"name"`
+	Entities1     int    `json:"entities1"`
+	Entities2     int    `json:"entities2"`
+	Matches       int    `json:"matches"`
+	BuildNano     int64  `json:"build_ns"`
+	SnapshotBytes int    `json:"snapshot_bytes"`
+	SaveNano      int64  `json:"save_ns"`
+	LoadNano      int64  `json:"load_ns"`
+	Queries       int    `json:"queries"`
+	TotalNano     int64  `json:"total_query_ns"`
+	MeanNano      int64  `json:"mean_query_ns"`
+	P50Nano       int64  `json:"p50_query_ns"`
+	P95Nano       int64  `json:"p95_query_ns"`
+	P99Nano       int64  `json:"p99_query_ns"`
+	MaxNano       int64  `json:"max_query_ns"`
+}
+
+// queryBenchJSON is the BENCH_query.json document: the serving-path
+// trajectory (index build, snapshot round-trip, per-query latency over
+// every KB2 entity) of every synthetic benchmark, with a built-in guard
+// that the union of per-entity queries equals the batch match set.
+type queryBenchJSON struct {
+	Seed     int64              `json:"seed"`
+	Scale    float64            `json:"scale"`
+	MaxProcs int                `json:"maxprocs"`
+	Datasets []queryDatasetJSON `json:"datasets"`
+}
+
+func writeQueryBench(path string, seed int64, scale float64) error {
+	doc := queryBenchJSON{Seed: seed, Scale: scale, MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, name := range minoaner.BenchmarkNames() {
+		b, err := minoaner.GenerateBenchmark(name, seed, scale)
+		if err != nil {
+			return err
+		}
+		cfg := minoaner.DefaultConfig()
+
+		t0 := time.Now()
+		built, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+		if err != nil {
+			return err
+		}
+		buildNano := time.Since(t0).Nanoseconds()
+
+		var snap bytes.Buffer
+		t0 = time.Now()
+		if err := minoaner.SaveIndex(&snap, built); err != nil {
+			return err
+		}
+		saveNano := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		ix, err := minoaner.LoadIndex(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			return err
+		}
+		loadNano := time.Since(t0).Nanoseconds()
+
+		// Per-query latency over every KB2 entity, plus the equality
+		// guard: the union of the answers must be the full match set.
+		// The built index's matches stand in for a batch Resolve run
+		// (their equality is enforced by index_test.go), so the pipeline
+		// is not executed a second time just for the guard.
+		batchMatches := built.Matches()
+		want := make(map[minoaner.Match]bool, len(batchMatches))
+		for _, m := range batchMatches {
+			want[m] = true
+		}
+		got := make(map[minoaner.Match]bool)
+		uris := b.KB2.URIs()
+		lat := make([]int64, 0, len(uris))
+		var total int64
+		for _, uri := range uris {
+			q0 := time.Now()
+			results := ix.Query(uri)
+			d := time.Since(q0).Nanoseconds()
+			lat = append(lat, d)
+			total += d
+			for _, m := range results[0].Matches {
+				got[m] = true
+			}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("%s: query union has %d matches, batch has %d", name, len(got), len(want))
+		}
+		for m := range got {
+			if !want[m] {
+				return fmt.Errorf("%s: query union contains %v, batch does not", name, m)
+			}
+		}
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		entry := queryDatasetJSON{
+			Name:          b.Name,
+			Entities1:     b.KB1.Len(),
+			Entities2:     b.KB2.Len(),
+			Matches:       len(batchMatches),
+			BuildNano:     buildNano,
+			SnapshotBytes: snap.Len(),
+			SaveNano:      saveNano,
+			LoadNano:      loadNano,
+			Queries:       len(lat),
+			TotalNano:     total,
+		}
+		if n := len(lat); n > 0 {
+			entry.MeanNano = total / int64(n)
+			entry.P50Nano = lat[n/2]
+			entry.P95Nano = lat[min(n-1, n*95/100)]
+			entry.P99Nano = lat[min(n-1, n*99/100)]
+			entry.MaxNano = lat[n-1]
+		}
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 // samePairs compares match slices treating nil and empty as equal.
 func samePairs(a, b []eval.Pair) bool {
 	if len(a) != len(b) {
@@ -244,8 +371,21 @@ func main() {
 		jsonPath      = flag.String("json", "", "write per-stage MinoanER pipeline timings to this JSON file (e.g. BENCH_pipeline.json) instead of the paper tables")
 		ingestPath    = flag.String("ingest-json", "", "write the instrumented ingest-to-matches profile (N-Triples parsing, KB build, blocking, matching) to this JSON file (e.g. BENCH_ingest.json) instead of the paper tables")
 		ingestWorkers = flag.String("ingest-workers", "1,2,4,8", "comma-separated worker counts swept by -ingest-json")
+		queryPath     = flag.String("query-json", "", "write the query-path profile (index build, snapshot save/load, per-query latency over every KB2 entity) to this JSON file (e.g. BENCH_query.json) instead of the paper tables")
 	)
 	flag.Parse()
+
+	if *queryPath != "" {
+		t0 := time.Now()
+		if err := writeQueryBench(*queryPath, *seed, *scale); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "query bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *queryPath)
+		}
+		return
+	}
 
 	start := time.Now()
 	datasets, err := experiments.Datasets(datagen.Options{Seed: *seed, Scale: *scale})

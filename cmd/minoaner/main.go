@@ -1,20 +1,24 @@
 // Command minoaner resolves the entities of two N-Triples knowledge
-// bases and prints the matches (and, when a ground truth is supplied,
-// precision / recall / F1).
+// bases. It has three subcommands:
 //
-// Usage:
+//	minoaner resolve  -kb1 a.nt -kb2 b.nt [-gt truth.csv] [flags]
+//	minoaner snapshot -kb1 a.nt -kb2 b.nt -o index.msnp [flags]
+//	minoaner serve    -index index.msnp -addr :8080
 //
-//	minoaner -kb1 first.nt -kb2 second.nt [-gt truth.csv] [flags]
+// resolve runs the batch matching process and prints the matches (and,
+// when a ground truth is supplied, precision / recall / F1). snapshot
+// builds the full index once and persists it; serve loads a snapshot
+// (or builds an index on startup) and answers resolution queries over
+// HTTP/JSON. Invoking minoaner with flags but no subcommand is
+// equivalent to resolve, preserving the original CLI.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
+	"strings"
 	"time"
 
 	"minoaner"
@@ -24,107 +28,134 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("minoaner: ")
 
-	var (
-		kb1Path = flag.String("kb1", "", "first KB (N-Triples file, required)")
-		kb2Path = flag.String("kb2", "", "second KB (N-Triples file, required)")
-		gtPath  = flag.String("gt", "", "optional ground truth CSV (uri1,uri2 lines)")
-		k       = flag.Int("k", 15, "candidates kept per entity per evidence type (K)")
-		n       = flag.Int("n", 3, "most important relations per entity (N)")
-		nameK   = flag.Int("names", 2, "top attributes per KB serving as names (k)")
-		theta   = flag.Float64("theta", 0.6, "value-vs-neighbor rank trade-off (θ)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		noH1    = flag.Bool("no-h1", false, "disable the name heuristic")
-		noH2    = flag.Bool("no-h2", false, "disable the value heuristic")
-		noH3    = flag.Bool("no-h3", false, "disable rank aggregation")
-		noH4    = flag.Bool("no-h4", false, "disable the reciprocity filter")
-		quiet   = flag.Bool("quiet", false, "suppress the match listing")
-		cache   = flag.Bool("cache", false, "cache parsed KBs next to the input as <file>.mkb and reuse them")
-		lenient = flag.Bool("lenient", false, "skip malformed or oversize N-Triples lines instead of failing")
-		verbose = flag.Bool("v", false, "print per-stage progress and timings to stderr")
-	)
-	flag.Parse()
-	if *kb1Path == "" || *kb2Path == "" {
-		flag.Usage()
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help") {
+		usage()
+		return
+	}
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "resolve":
+			runResolve(args[1:])
+		case "snapshot":
+			runSnapshot(args[1:])
+		case "serve":
+			runServe(args[1:])
+		case "help":
+			usage()
+		default:
+			fmt.Fprintf(os.Stderr, "minoaner: unknown subcommand %q\n\n", args[0])
+			usage()
+			os.Exit(2)
+		}
+		return
+	}
+	// Legacy invocation: bare flags mean resolve.
+	runResolve(args)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `Usage:
+
+  minoaner resolve  -kb1 a.nt -kb2 b.nt [-gt truth.csv] [flags]
+  minoaner snapshot -kb1 a.nt -kb2 b.nt -o index.msnp [flags]
+  minoaner snapshot -inspect index.msnp
+  minoaner serve    -index index.msnp [-addr :8080]
+  minoaner serve    -kb1 a.nt -kb2 b.nt [-addr :8080]
+
+Run a subcommand with -h for its flags. Flags without a subcommand run
+'resolve' (the original CLI).
+`)
+}
+
+// matchConfig declares the MinoanER parameter flags shared by resolve
+// and snapshot on the given flag set.
+type matchConfig struct {
+	k, n, nameK                *int
+	theta                      *float64
+	workers                    *int
+	noH1, noH2, noH3, noH4     *bool
+	kb1Path, kb2Path           *string
+	lenient, verbose, useCache *bool
+}
+
+func declareMatchFlags(fs *flag.FlagSet) *matchConfig {
+	return &matchConfig{
+		kb1Path:  fs.String("kb1", "", "first KB (N-Triples file, required)"),
+		kb2Path:  fs.String("kb2", "", "second KB (N-Triples file, required)"),
+		k:        fs.Int("k", 15, "candidates kept per entity per evidence type (K)"),
+		n:        fs.Int("n", 3, "most important relations per entity (N)"),
+		nameK:    fs.Int("names", 2, "top attributes per KB serving as names (k)"),
+		theta:    fs.Float64("theta", 0.6, "value-vs-neighbor rank trade-off (θ)"),
+		workers:  fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)"),
+		noH1:     fs.Bool("no-h1", false, "disable the name heuristic"),
+		noH2:     fs.Bool("no-h2", false, "disable the value heuristic"),
+		noH3:     fs.Bool("no-h3", false, "disable rank aggregation"),
+		noH4:     fs.Bool("no-h4", false, "disable the reciprocity filter"),
+		lenient:  fs.Bool("lenient", false, "skip malformed or oversize N-Triples lines instead of failing"),
+		useCache: fs.Bool("cache", false, "cache parsed KBs next to the input as <file>.mkb and reuse them"),
+		verbose:  fs.Bool("v", false, "print per-stage progress and timings to stderr"),
+	}
+}
+
+func (mc *matchConfig) config() minoaner.Config {
+	cfg := minoaner.DefaultConfig()
+	cfg.K = *mc.k
+	cfg.N = *mc.n
+	cfg.NameAttributes = *mc.nameK
+	cfg.Theta = *mc.theta
+	cfg.Workers = *mc.workers
+	cfg.DisableH1 = *mc.noH1
+	cfg.DisableH2 = *mc.noH2
+	cfg.DisableH3 = *mc.noH3
+	cfg.DisableH4 = *mc.noH4
+	return cfg
+}
+
+// loadKBs loads both KBs per the shared flags (lenient parsing, binary
+// caching) and prints their statistics.
+func (mc *matchConfig) loadKBs(fs *flag.FlagSet) (*minoaner.KB, *minoaner.KB) {
+	if *mc.kb1Path == "" || *mc.kb2Path == "" {
+		fs.Usage()
 		os.Exit(2)
 	}
-
 	load := loadPlain
-	if *lenient {
+	if *mc.lenient {
 		load = loadLenient
 	}
-	if *cache {
+	if *mc.useCache {
 		parse := load // cache misses honor -lenient too
 		load = func(name, path string) (*minoaner.KB, error) {
 			return loadCached(name, path, parse)
 		}
 	}
-	kb1, err := load("KB1", *kb1Path)
+	kb1, err := load("KB1", *mc.kb1Path)
 	if err != nil {
-		log.Fatalf("loading %s: %v", *kb1Path, err)
+		log.Fatalf("loading %s: %v", *mc.kb1Path, err)
 	}
-	kb2, err := load("KB2", *kb2Path)
+	kb2, err := load("KB2", *mc.kb2Path)
 	if err != nil {
-		log.Fatalf("loading %s: %v", *kb2Path, err)
+		log.Fatalf("loading %s: %v", *mc.kb2Path, err)
 	}
 	fmt.Fprintf(os.Stderr, "KB1: %+v\n", kb1.Stats())
 	fmt.Fprintf(os.Stderr, "KB2: %+v\n", kb2.Stats())
+	return kb1, kb2
+}
 
-	cfg := minoaner.DefaultConfig()
-	cfg.K = *k
-	cfg.N = *n
-	cfg.NameAttributes = *nameK
-	cfg.Theta = *theta
-	cfg.Workers = *workers
-	cfg.DisableH1 = *noH1
-	cfg.DisableH2 = *noH2
-	cfg.DisableH3 = *noH3
-	cfg.DisableH4 = *noH4
-
-	// Ctrl-C cancels the run between pipeline stages and inside the
-	// parallel candidate loops. The handler uninstalls itself once the
-	// first signal fires, so a second Ctrl-C kills the process outright
-	// even if a stage without internal cancellation checks is running.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	context.AfterFunc(ctx, stop)
-
-	var opts []minoaner.ResolveOption
-	if *verbose {
-		opts = append(opts, minoaner.WithProgress(func(p minoaner.StageProgress) {
-			if !p.Done {
-				return
-			}
-			fmt.Fprintf(os.Stderr, "stage %2d/%d %-20s %12v %10.1f MB\n",
-				p.Index+1, p.Total, p.Stage, p.Timing.Duration.Round(10*time.Microsecond),
-				float64(p.Timing.AllocBytes)/(1<<20))
-		}))
+// progressOptions returns the -v stage-timing progress option, if
+// enabled.
+func (mc *matchConfig) progressOptions() []minoaner.ResolveOption {
+	if !*mc.verbose {
+		return nil
 	}
-	res, err := minoaner.ResolveContext(ctx, kb1, kb2, cfg, opts...)
-	if errors.Is(err, context.Canceled) {
-		log.Fatal("interrupted")
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !*quiet {
-		for _, m := range res.Matches {
-			fmt.Printf("%s,%s\n", m.URI1, m.URI2)
+	return []minoaner.ResolveOption{minoaner.WithProgress(func(p minoaner.StageProgress) {
+		if !p.Done {
+			return
 		}
-	}
-	fmt.Fprintf(os.Stderr, "matches: %d (H1=%d H2=%d H3=%d, H4 discarded %d)\n",
-		len(res.Matches), res.ByName, res.ByValue, res.ByRank, res.DiscardedByReciprocity)
-	fmt.Fprintf(os.Stderr, "blocks: |BN|=%d ||BN||=%d |BT|=%d ||BT||=%d purged=%d\n",
-		res.NameBlocks, res.NameComparisons, res.TokenBlocks, res.TokenComparisons, res.PurgedBlocks)
-
-	if *gtPath != "" {
-		gt, err := minoaner.LoadGroundTruthFile(kb1, kb2, *gtPath)
-		if err != nil {
-			log.Fatalf("loading %s: %v", *gtPath, err)
-		}
-		m := res.Evaluate(gt)
-		fmt.Fprintf(os.Stderr, "evaluation: %s (TP=%d FP=%d FN=%d of %d)\n",
-			m, m.TP, m.FP, m.FN, gt.Len())
-	}
+		fmt.Fprintf(os.Stderr, "stage %2d/%d %-20s %12v %10.1f MB\n",
+			p.Index+1, p.Total, p.Stage, p.Timing.Duration.Round(10*time.Microsecond),
+			float64(p.Timing.AllocBytes)/(1<<20))
+	})}
 }
 
 func loadPlain(name, path string) (*minoaner.KB, error) {

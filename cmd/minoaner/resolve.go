@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"minoaner"
+)
+
+// runResolve is the batch matching subcommand (and the legacy bare-flag
+// CLI).
+func runResolve(args []string) {
+	fs := flag.NewFlagSet("minoaner resolve", flag.ExitOnError)
+	mc := declareMatchFlags(fs)
+	gtPath := fs.String("gt", "", "optional ground truth CSV (uri1,uri2 lines)")
+	quiet := fs.Bool("quiet", false, "suppress the match listing")
+	fs.Parse(args)
+
+	kb1, kb2 := mc.loadKBs(fs)
+	cfg := mc.config()
+
+	// Ctrl-C cancels the run between pipeline stages and inside the
+	// parallel candidate loops. The handler uninstalls itself once the
+	// first signal fires, so a second Ctrl-C kills the process outright
+	// even if a stage without internal cancellation checks is running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	res, err := minoaner.ResolveContext(ctx, kb1, kb2, cfg, mc.progressOptions()...)
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		for _, m := range res.Matches {
+			fmt.Printf("%s,%s\n", m.URI1, m.URI2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "matches: %d (H1=%d H2=%d H3=%d, H4 discarded %d)\n",
+		len(res.Matches), res.ByName, res.ByValue, res.ByRank, res.DiscardedByReciprocity)
+	fmt.Fprintf(os.Stderr, "blocks: |BN|=%d ||BN||=%d |BT|=%d ||BT||=%d purged=%d\n",
+		res.NameBlocks, res.NameComparisons, res.TokenBlocks, res.TokenComparisons, res.PurgedBlocks)
+
+	if *gtPath != "" {
+		gt, err := minoaner.LoadGroundTruthFile(kb1, kb2, *gtPath)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *gtPath, err)
+		}
+		m := res.Evaluate(gt)
+		fmt.Fprintf(os.Stderr, "evaluation: %s (TP=%d FP=%d FN=%d of %d)\n",
+			m, m.TP, m.FP, m.FN, gt.Len())
+	}
+}

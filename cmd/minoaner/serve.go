@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"minoaner"
+)
+
+// runServe loads (or builds) an index and serves resolution queries
+// over HTTP/JSON until interrupted.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("minoaner serve", flag.ExitOnError)
+	mc := declareMatchFlags(fs)
+	indexPath := fs.String("index", "", "snapshot file to serve (from 'minoaner snapshot'); overrides -kb1/-kb2")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+
+	var ix *minoaner.Index
+	start := time.Now()
+	if *indexPath != "" {
+		var err error
+		ix, err = minoaner.LoadIndexFile(*indexPath)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *indexPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "index %s loaded in %v\n", *indexPath, time.Since(start).Round(time.Millisecond))
+	} else {
+		kb1, kb2 := mc.loadKBs(fs)
+		var err error
+		ix, err = minoaner.BuildIndexContext(context.Background(), kb1, kb2, mc.config(), mc.progressOptions()...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "index built in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	st := ix.Stats()
+	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities\n",
+		st.Matches, st.KB1.Entities, st.KB2.Entities)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           minoaner.NewServer(ix),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // second Ctrl-C kills the process outright
+		fmt.Fprintln(os.Stderr, "shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Serve quick-start: build an index over two tiny KBs, round-trip it
+// through a snapshot, start the HTTP resolution service in-process, and
+// query it — the programmatic equivalent of
+//
+//	minoaner snapshot -kb1 a.nt -kb2 b.nt -o index.msnp
+//	minoaner serve -index index.msnp
+//	curl 'localhost:8080/resolve?uri=http://b/42'
+//
+// Run with:
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"minoaner"
+)
+
+const kbA = `
+<http://a/joes> <http://va/name> "Joe's Diner" .
+<http://a/joes> <http://va/phone> "555-1234" .
+<http://a/central> <http://va/name> "Central Cafe" .
+<http://a/central> <http://va/phone> "555-9876" .
+`
+
+const kbB = `
+<http://b/42> <http://vb/title> "joe s diner" .
+<http://b/42> <http://vb/telephone> "555 1234" .
+<http://b/77> <http://vb/title> "central cafe" .
+<http://b/77> <http://vb/telephone> "555 9876" .
+`
+
+func main() {
+	kb1, err := minoaner.LoadKB("A", strings.NewReader(kbA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb2, err := minoaner.LoadKB("B", strings.NewReader(kbB))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build once: the index holds the KBs, the blocks, and the complete
+	// match set.
+	ix, err := minoaner.BuildIndex(kb1, kb2, minoaner.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist and reload — in production this is a file written by
+	// 'minoaner snapshot' and loaded by 'minoaner serve'.
+	var snapshot bytes.Buffer
+	if err := minoaner.SaveIndex(&snapshot, ix); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := minoaner.LoadIndex(bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes, %d matches\n", snapshot.Len(), len(loaded.Matches()))
+
+	// Serve it. httptest stands in for http.ListenAndServe so the
+	// example terminates; the handler is the same either way.
+	srv := httptest.NewServer(minoaner.NewServer(loaded))
+	defer srv.Close()
+
+	get := func(path string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Printf("GET %s\n%s\n", path, body)
+	}
+	get("/resolve?uri=http://b/42")
+
+	// Resolve a brand-new description against the indexed side.
+	delta := `<http://c/new> <http://vc/label> "joe s diner" .` + "\n" +
+		`<http://c/new> <http://vc/tel> "555 1234" .` + "\n"
+	resp, err := http.Post(srv.URL+"/delta?name=new-listings", "application/x-ntriples", strings.NewReader(delta))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("POST /delta\n%s\n", body)
+}

@@ -1,0 +1,286 @@
+package minoaner
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+	"minoaner/internal/pipeline"
+)
+
+// Index is a fully resolved, immutable snapshot of a KB pair: the built
+// KBs, their block collections, and the complete match set
+// M = (H1 ∨ H2 ∨ H3) ∧ H4, organized for query-time access. MinoanER's
+// matching needs no iteration, so everything a resolution query needs
+// is static — an Index is built (or loaded) once and then answers
+// "who matches entity X?" in constant time, safely from any number of
+// goroutines.
+//
+// Build one with BuildIndex, persist it with SaveIndex, and reload it
+// with LoadIndex; the snapshot round-trips bit-identically, so a served
+// index is byte-for-byte the index that was built.
+type Index struct {
+	kb1, kb2 *KB
+	cfg      Config
+
+	nameBlocks  *blocking.Collection
+	tokenBlocks *blocking.Collection
+	purge       blocking.PurgeResult
+
+	nameBlockCount, tokenBlockCount   int
+	nameComparisons, tokenComparisons int64
+
+	h1, h2, h3    []eval.Pair
+	matches       []eval.Pair
+	discardedByH4 int
+
+	by1, by2 map[kb.EntityID][]int32 // entity -> positions in matches
+}
+
+// BuildIndex resolves the KB pair once and assembles the queryable
+// index.
+func BuildIndex(kb1, kb2 *KB, cfg Config) (*Index, error) {
+	return BuildIndexContext(context.Background(), kb1, kb2, cfg)
+}
+
+// BuildIndexContext is BuildIndex under a context, with optional
+// progress reporting (WithProgress). It runs the same staged pipeline
+// as ResolveContext and retains the artifacts queries need: the block
+// collections, the per-heuristic contributions, and the final match
+// set.
+func BuildIndexContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...ResolveOption) (*Index, error) {
+	var o resolveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	icfg := cfg.internal()
+	if err := icfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := pipeline.NewState(kb1.kb, kb2.kb, icfg.Params())
+	// Observed runs record per-stage allocation deltas, matching
+	// ResolveContext's behavior so -v output is consistent across
+	// subcommands.
+	eng := pipeline.Engine{Plan: core.PlanFor(icfg), Progress: o.pipelineProgress(), AllocStats: o.progress != nil}
+	if _, err := eng.Run(ctx, st); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		kb1:              kb1,
+		kb2:              kb2,
+		cfg:              cfg,
+		nameBlocks:       st.NameBlocks,
+		tokenBlocks:      st.TokenBlocks,
+		purge:            st.PurgeStats,
+		nameBlockCount:   st.NameBlockCount,
+		tokenBlockCount:  st.TokenBlockCount,
+		nameComparisons:  st.NameComparisons,
+		tokenComparisons: st.TokenComparisons,
+		h1:               st.H1,
+		h2:               st.H2,
+		h3:               st.H3,
+		matches:          st.Matches,
+		discardedByH4:    st.DiscardedByH4,
+	}
+	ix.buildLookup()
+	return ix, nil
+}
+
+// buildLookup derives the per-entity match positions from the match
+// list.
+func (ix *Index) buildLookup() {
+	ix.by1 = make(map[kb.EntityID][]int32, len(ix.matches))
+	ix.by2 = make(map[kb.EntityID][]int32, len(ix.matches))
+	for i, p := range ix.matches {
+		ix.by1[p.E1] = append(ix.by1[p.E1], int32(i))
+		ix.by2[p.E2] = append(ix.by2[p.E2], int32(i))
+	}
+}
+
+// KB1 returns the first indexed KB.
+func (ix *Index) KB1() *KB { return ix.kb1 }
+
+// KB2 returns the second indexed KB.
+func (ix *Index) KB2() *KB { return ix.kb2 }
+
+// Config returns the configuration the index was built under.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Matches returns the full match set as URI pairs, in canonical order.
+func (ix *Index) Matches() []Match {
+	out := make([]Match, len(ix.matches))
+	for i, p := range ix.matches {
+		out[i] = Match{URI1: ix.kb1.kb.URI(p.E1), URI2: ix.kb2.kb.URI(p.E2)}
+	}
+	return out
+}
+
+// IndexStats summarizes an index for monitoring (the /stats payload of
+// the serve endpoint).
+type IndexStats struct {
+	KB1, KB2                          KBStats
+	Matches                           int
+	ByName, ByValue, ByRank           int
+	DiscardedByReciprocity            int
+	NameBlocks, TokenBlocks           int
+	NameComparisons, TokenComparisons int64
+	PurgedBlocks                      int
+}
+
+// Stats reports the index's summary statistics.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{
+		KB1:                    ix.kb1.Stats(),
+		KB2:                    ix.kb2.Stats(),
+		Matches:                len(ix.matches),
+		ByName:                 len(ix.h1),
+		ByValue:                len(ix.h2),
+		ByRank:                 len(ix.h3),
+		DiscardedByReciprocity: ix.discardedByH4,
+		NameBlocks:             ix.nameBlockCount,
+		TokenBlocks:            ix.tokenBlockCount,
+		NameComparisons:        ix.nameComparisons,
+		TokenComparisons:       ix.tokenComparisons,
+		PurgedBlocks:           ix.purge.RemovedBlocks,
+	}
+}
+
+// QueryResult answers one queried URI: where the entity was found and
+// the matches it participates in — the heuristic composition
+// (H1 ∨ H2 ∨ H3) ∧ H4 restricted to that entity.
+type QueryResult struct {
+	// URI is the queried entity, echoed back.
+	URI string
+	// In1 and In2 report whether the URI names an entity of the first /
+	// second KB. Both false means the URI is unknown to the index.
+	In1, In2 bool
+	// Matches lists the resolved pairs involving the entity, in
+	// canonical order.
+	Matches []Match
+}
+
+// Query resolves entity URIs against the index. Each URI is looked up
+// in both KBs; unknown URIs yield a result with In1 == In2 == false and
+// no matches. Query is read-only and safe for concurrent use.
+func (ix *Index) Query(entityURIs ...string) []QueryResult {
+	out := make([]QueryResult, len(entityURIs))
+	for i, uri := range entityURIs {
+		res := QueryResult{URI: uri}
+		var positions []int32
+		if e1, ok := ix.kb1.kb.Lookup(uri); ok {
+			res.In1 = true
+			positions = append(positions, ix.by1[e1]...)
+		}
+		if e2, ok := ix.kb2.kb.Lookup(uri); ok {
+			res.In2 = true
+			positions = appendNewPositions(positions, ix.by2[e2])
+		}
+		for _, pos := range positions {
+			p := ix.matches[pos]
+			res.Matches = append(res.Matches, Match{URI1: ix.kb1.kb.URI(p.E1), URI2: ix.kb2.kb.URI(p.E2)})
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// appendNewPositions appends the positions of b not already present in
+// a (both lists are short: an entity participates in few matches).
+func appendNewPositions(a, b []int32) []int32 {
+	for _, pos := range b {
+		dup := false
+		for _, have := range a {
+			if have == pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a = append(a, pos)
+		}
+	}
+	return a
+}
+
+// QueryKB resolves a delta KB — one entity or a small batch of new
+// descriptions — against the index's first KB, reusing the standard
+// pipeline stages with the delta in the second KB's role. The indexed
+// KBs are immutable, so concurrent QueryKB calls are safe.
+//
+// Cost: the stages re-block the full pair, so each call is O(|KB1|)
+// regardless of delta size — the preloaded side is spared re-parsing
+// and re-derivation, not re-blocking. Query, by contrast, is a
+// constant-time lookup; route high-rate traffic there and reserve
+// QueryKB/QueryReader (and the serve layer's /delta) for genuinely new
+// descriptions.
+func (ix *Index) QueryKB(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+	return ResolveContext(ctx, ix.kb1, delta, ix.cfg, opts...)
+}
+
+// QueryReader parses a small N-Triples delta and resolves it against
+// the index's first KB (see QueryKB). The source's Lenient flag skips
+// malformed lines; the skipped count is reported in
+// Result.SkippedLines2.
+func (ix *Index) QueryReader(ctx context.Context, src Source, opts ...ResolveOption) (*Result, error) {
+	var delta *KB
+	var skipped int
+	var err error
+	if src.Lenient {
+		delta, skipped, err = LoadKBLenient(src.Name, src.R)
+	} else {
+		delta, err = LoadKB(src.Name, src.R)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("minoaner: parsing query delta: %w", err)
+	}
+	res, err := ix.QueryKB(ctx, delta, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.SkippedLines2 = skipped
+	return res, nil
+}
+
+// SaveIndexFile writes the index snapshot to a file.
+func SaveIndexFile(path string, ix *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveIndex(f, ix); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndexFile reads an index snapshot from a file.
+func LoadIndexFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadIndex(f)
+}
+
+// pipelineProgress adapts the public progress callback to the pipeline
+// layer.
+func (o *resolveOptions) pipelineProgress() pipeline.Progress {
+	if o.progress == nil {
+		return nil
+	}
+	return func(ev pipeline.ProgressEvent) {
+		o.progress(StageProgress{
+			Stage:  ev.Stage,
+			Index:  ev.Index,
+			Total:  ev.Total,
+			Done:   ev.Done,
+			Timing: stageTiming(ev.Stat),
+		})
+	}
+}

@@ -1,0 +1,384 @@
+// Package binio provides the shared binary-encoding substrate of the
+// repo's persistent formats: varint/string/float primitives with sticky
+// error handling, plus length-prefixed, CRC-checksummed sections. The
+// KB codec (internal/kb), the block-collection codec
+// (internal/blocking), and the public index snapshot all speak the same
+// section framing:
+//
+//	uvarint sectionID | uvarint payloadLen | payload | uint32 CRC32(payload)
+//
+// terminated by a single sectionID 0. Readers skip sections whose ID
+// they do not recognize (forward compatibility within a format
+// version); any payload whose checksum does not match is rejected
+// before a single byte of it is decoded.
+package binio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// EndSection is the section ID that terminates a section stream.
+const EndSection = 0
+
+// maxSectionBytes bounds a single section payload; a longer length
+// prefix marks corruption (or an absurd file) and is rejected outright.
+// Within the bound, payloads are read incrementally (readN), so a
+// damaged length never provokes one huge up-front allocation.
+const maxSectionBytes = 1 << 32
+
+// maxStringBytes bounds a single string; longer length prefixes mark
+// corruption.
+const maxStringBytes = 1 << 28
+
+// ErrCorrupt is wrapped by every decoding failure: structural damage,
+// checksum mismatches, truncation, and out-of-range values all satisfy
+// errors.Is(err, binio.ErrCorrupt).
+var ErrCorrupt = errors.New("binio: corrupt data")
+
+// Writer encodes primitives onto an io.Writer with a sticky error: the
+// first failure latches and subsequent calls are no-ops, so callers
+// check Err (or Flush) once at the end.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the latched error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Flush drains the internal buffer and returns the latched error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Uvarint writes one unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+// Int writes a non-negative int as a uvarint.
+func (w *Writer) Int(v int) { w.Uvarint(uint64(v)) }
+
+// Bool writes a boolean as one uvarint (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Uvarint(1)
+	} else {
+		w.Uvarint(0)
+	}
+}
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// Float writes a float64 as the uvarint of its IEEE-754 bits.
+func (w *Writer) Float(f float64) {
+	w.Uvarint(math.Float64bits(f))
+}
+
+// Raw writes bytes verbatim (no length prefix).
+func (w *Writer) Raw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Blob writes a length-prefixed byte slice — the container primitive
+// for embedding one format inside another (e.g. a KB image inside an
+// index snapshot).
+func (w *Writer) Blob(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.Raw(p)
+}
+
+// Embed streams a nested format directly into the stream via its
+// io.Writer-based encoder, avoiding an intermediate buffer. Inside a
+// Section the section framing already delimits the payload, so no
+// length prefix is added; the nested format's own magic/versioning
+// makes it self-describing.
+func (w *Writer) Embed(write func(io.Writer) error) {
+	if w.err != nil {
+		return
+	}
+	w.err = write(w.w)
+}
+
+// Section buffers the output of fn and emits it as one checksummed
+// section with the given non-zero ID.
+func (w *Writer) Section(id uint64, fn func(*Writer)) {
+	if w.err != nil {
+		return
+	}
+	if id == EndSection {
+		w.err = fmt.Errorf("binio: section ID %d is reserved for the end marker", EndSection)
+		return
+	}
+	var payload bytes.Buffer
+	sw := NewWriter(&payload)
+	fn(sw)
+	if err := sw.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	w.Uvarint(id)
+	w.Uvarint(uint64(payload.Len()))
+	w.Raw(payload.Bytes())
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload.Bytes()))
+	w.Raw(sum[:])
+}
+
+// End terminates the section stream.
+func (w *Writer) End() { w.Uvarint(EndSection) }
+
+// Reader decodes primitives from an io.Reader with a sticky error.
+// After any failure, subsequent reads return zero values; callers check
+// Err once.
+type Reader struct {
+	r   io.ByteReader
+	in  io.Reader
+	err error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	type byteReader interface {
+		io.Reader
+		io.ByteReader
+	}
+	br, ok := r.(byteReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Reader{r: br, in: br}
+}
+
+// Err returns the latched error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches a corruption error with the given description.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v
+}
+
+// Int reads a uvarint-encoded non-negative int, failing when it does
+// not fit the platform int.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if uint64(int(v)) != v || int(v) < 0 {
+		r.Fail("integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a uvarint-encoded boolean.
+func (r *Reader) Bool() bool {
+	switch v := r.Uvarint(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("invalid boolean %d", v)
+		return false
+	}
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringBytes {
+		r.Fail("absurd string length %d", n)
+		return ""
+	}
+	return string(r.readN(n))
+}
+
+// readN reads exactly n bytes. The buffer grows with the bytes actually
+// arriving (io.CopyN over a growing buffer) rather than being allocated
+// up front, so a corrupt length prefix on a short stream fails with
+// ErrCorrupt and modest memory instead of attempting one huge
+// allocation — and values beyond the platform's int cannot overflow a
+// make call.
+func (r *Reader) readN(n uint64) []byte {
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r.in, int64(n)); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// Float reads a float64 written by Writer.Float.
+func (r *Reader) Float() float64 {
+	return math.Float64frombits(r.Uvarint())
+}
+
+// ReadFull fills buf with raw bytes (the counterpart of Writer.Raw).
+func (r *Reader) ReadFull(buf []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.in, buf); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+}
+
+// Blob reads a length-prefixed byte slice written by Writer.Blob.
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSectionBytes {
+		r.Fail("absurd blob length %d", n)
+		return nil
+	}
+	return r.readN(n)
+}
+
+// Embedded returns the reader's remaining stream for a nested decoder
+// to consume directly (the counterpart of Writer.Embed). The nested
+// decoder advances this reader; interleave with primitive reads only
+// after it finishes.
+func (r *Reader) Embedded() io.Reader {
+	return r.in
+}
+
+// Magic consumes a 4-byte magic number and fails unless it matches.
+func (r *Reader) Magic(want [4]byte) {
+	var got [4]byte
+	r.ReadFull(got[:])
+	if r.err != nil {
+		r.err = fmt.Errorf("%w: missing magic: %v", ErrCorrupt, r.err)
+		return
+	}
+	if got != want {
+		r.Fail("bad magic %q (want %q)", got[:], want[:])
+	}
+}
+
+// Version consumes the format-version uvarint and fails unless it is
+// one of the accepted values. It returns the version read so callers
+// can dispatch between accepted formats.
+func (r *Reader) Version(accepted ...uint64) uint64 {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	for _, a := range accepted {
+		if v == a {
+			return v
+		}
+	}
+	r.Fail("unsupported version %d", v)
+	return 0
+}
+
+// Sections drains the whole section stream into a map keyed by section
+// ID, verifying each checksum and rejecting duplicate IDs. Callers look
+// up the sections they know and ignore the rest (forward
+// compatibility). On any failure the reader's error is latched and nil
+// is returned.
+func (r *Reader) Sections() map[uint64]*Reader {
+	bodies := make(map[uint64]*Reader)
+	for {
+		id, body := r.Section()
+		if id == EndSection {
+			break
+		}
+		if _, dup := bodies[id]; dup {
+			r.Fail("duplicate section %d", id)
+			return nil
+		}
+		bodies[id] = body
+	}
+	if r.err != nil {
+		return nil
+	}
+	return bodies
+}
+
+// Section reads the next section header and its full payload, verifies
+// the checksum, and returns the section ID with a sub-Reader over the
+// payload. It returns (EndSection, nil) at the end marker. Unknown IDs
+// are the caller's to skip — the payload is already consumed, so
+// skipping costs nothing.
+func (r *Reader) Section() (uint64, *Reader) {
+	id := r.Uvarint()
+	if r.err != nil || id == EndSection {
+		return EndSection, nil
+	}
+	n := r.Uvarint()
+	if r.err != nil {
+		return EndSection, nil
+	}
+	if n > maxSectionBytes {
+		r.Fail("absurd section length %d", n)
+		return EndSection, nil
+	}
+	payload := r.readN(n)
+	if r.err != nil {
+		r.err = fmt.Errorf("section %d truncated: %w", id, r.err)
+		return EndSection, nil
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r.in, sum[:]); err != nil {
+		r.err = fmt.Errorf("%w: section %d checksum truncated: %v", ErrCorrupt, id, err)
+		return EndSection, nil
+	}
+	want := binary.LittleEndian.Uint32(sum[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		r.err = fmt.Errorf("%w: section %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, id, got, want)
+		return EndSection, nil
+	}
+	return id, NewReader(bytes.NewReader(payload))
+}

@@ -81,10 +81,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// params projects the configuration onto the pipeline's parameter set.
+// Params projects the configuration onto the pipeline's parameter set.
 // The Disable flags are deliberately absent: they are realized as plan
-// edits by Matcher.Plan, not as stage-level switches.
-func (c Config) params() pipeline.Params {
+// edits by Matcher.Plan (and by PlanFor), not as stage-level switches.
+// It is exported for callers that assemble pipeline states directly,
+// such as the public index builder.
+func (c Config) Params() pipeline.Params {
 	return pipeline.Params{
 		K:       c.K,
 		N:       c.N,

@@ -111,7 +111,7 @@ func (m *Matcher) CollectAllocStats(on bool) { m.allocStats = on }
 // edited with the pipeline helpers; preconditions between stages are
 // validated by the stages themselves.
 func (m *Matcher) RunPlan(ctx context.Context, plan []pipeline.Stage, progress pipeline.Progress) (*Result, error) {
-	st := pipeline.NewState(m.kb1, m.kb2, m.cfg.params())
+	st := pipeline.NewState(m.kb1, m.kb2, m.cfg.Params())
 	eng := pipeline.Engine{Plan: plan, Progress: progress, AllocStats: m.allocStats || progress != nil}
 	stats, err := eng.Run(ctx, st)
 	if err != nil {
@@ -130,7 +130,7 @@ func RunSources(ctx context.Context, src1, src2 pipeline.Source, cfg Config, pro
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
-	st := pipeline.NewIngestState(src1, src2, cfg.params())
+	st := pipeline.NewIngestState(src1, src2, cfg.Params())
 	plan := append(pipeline.IngestPlan(), PlanFor(cfg)...)
 	eng := pipeline.Engine{Plan: plan, Progress: progress, AllocStats: allocStats || progress != nil}
 	stats, err := eng.Run(ctx, st)

@@ -1,107 +1,149 @@
 package kb
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"math"
+
+	"minoaner/internal/binio"
 )
 
 // Binary serialization of a built KB. Loading a large N-Triples dump
 // re-tokenizes every literal and re-derives all statistics; the binary
 // format stores the assembled structure instead, making reload
-// I/O-bound. The format is versioned and self-describing:
+// I/O-bound. The format is versioned and self-describing. Version 2
+// frames the payload into CRC32-checksummed sections (see
+// internal/binio), so corruption — a flipped bit anywhere in a cached
+// file — is detected before any damaged data is decoded:
 //
-//	magic "MKB1" | version | name | predicates | per-predicate stats |
-//	entities (URI, attrs, out-edges, types, tokens) | triple count
+//	magic "MKB1" | uvarint version | sections | end marker
+//
+//	section 1 (header):     name, triple count
+//	section 2 (predicates): predicate dictionary
+//	section 3 (stats):      attribute and relation statistics
+//	section 4 (entities):   per entity: URI, attrs, out-edges, types, tokens
 //
 // Derived structures (in-edges, EF, URI index, type/vocab sets) are
-// rebuilt on load — they are redundant with the stored data.
+// rebuilt on load — they are redundant with the stored data. Version 1
+// (the same streams without section framing or checksums) is still
+// readable. Unknown section IDs are skipped, so a same-version reader
+// tolerates future appended sections.
 
 var binaryMagic = [4]byte{'M', 'K', 'B', '1'}
 
-const binaryVersion = 1
+const (
+	binaryVersion   = 2
+	binaryVersionV1 = 1
+)
+
+// Section IDs of the version-2 frame.
+const (
+	secHeader   = 1
+	secPreds    = 2
+	secStats    = 3
+	secEntities = 4
+)
 
 // errCorrupt wraps structural failures of the binary decoder.
 var errCorrupt = errors.New("kb: corrupt binary KB")
 
-// WriteBinary serializes the KB in the binary format.
+// WriteBinary serializes the KB in the binary format (version 2,
+// checksummed sections). The encoding is deterministic: the same KB
+// always produces the same bytes.
 func (kb *KB) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	enc := &binWriter{w: bw}
-	enc.uvarint(binaryVersion)
-	enc.str(kb.name)
-	enc.uvarint(uint64(kb.numTriples))
+	bw := binio.NewWriter(w)
+	bw.Raw(binaryMagic[:])
+	bw.Uvarint(binaryVersion)
+	bw.Section(secHeader, func(e *binio.Writer) {
+		e.Str(kb.name)
+		e.Int(kb.numTriples)
+	})
+	bw.Section(secPreds, kb.writePreds)
+	bw.Section(secStats, kb.writeStats)
+	bw.Section(secEntities, kb.writeEntities)
+	bw.End()
+	return bw.Flush()
+}
 
-	enc.uvarint(uint64(len(kb.preds)))
+func (kb *KB) writePreds(e *binio.Writer) {
+	e.Int(len(kb.preds))
 	for _, p := range kb.preds {
-		enc.str(p)
+		e.Str(p)
 	}
-	writeStats := func(m map[int32]*PredStat) {
-		enc.uvarint(uint64(len(m)))
+}
+
+func (kb *KB) writeStats(e *binio.Writer) {
+	writeSide := func(m map[int32]*PredStat) {
+		e.Int(len(m))
 		for pid := int32(0); pid < int32(len(kb.preds)); pid++ {
 			st, ok := m[pid]
 			if !ok {
 				continue
 			}
-			enc.uvarint(uint64(pid))
-			enc.uvarint(uint64(st.Entities))
-			enc.uvarint(uint64(st.Distinct))
-			enc.float(st.Importance)
+			e.Uvarint(uint64(pid))
+			e.Int(st.Entities)
+			e.Int(st.Distinct)
+			e.Float(st.Importance)
 		}
 	}
-	writeStats(kb.attrStats)
-	writeStats(kb.relStats)
-
-	enc.uvarint(uint64(len(kb.entities)))
-	for i := range kb.entities {
-		e := &kb.entities[i]
-		enc.str(e.URI)
-		enc.uvarint(uint64(len(e.Attrs)))
-		for _, av := range e.Attrs {
-			enc.uvarint(uint64(av.Pred))
-			enc.str(av.Value)
-		}
-		enc.uvarint(uint64(len(e.Out)))
-		for _, edge := range e.Out {
-			enc.uvarint(uint64(edge.Pred))
-			enc.uvarint(uint64(edge.Target))
-		}
-		enc.uvarint(uint64(len(e.Types)))
-		for _, t := range e.Types {
-			enc.str(t)
-		}
-		enc.uvarint(uint64(len(e.Tokens)))
-		for _, t := range e.Tokens {
-			enc.str(t)
-		}
-	}
-	if enc.err != nil {
-		return enc.err
-	}
-	return bw.Flush()
+	writeSide(kb.attrStats)
+	writeSide(kb.relStats)
 }
 
-// ReadBinary deserializes a KB written by WriteBinary.
+func (kb *KB) writeEntities(e *binio.Writer) {
+	e.Int(len(kb.entities))
+	for i := range kb.entities {
+		ent := &kb.entities[i]
+		e.Str(ent.URI)
+		e.Int(len(ent.Attrs))
+		for _, av := range ent.Attrs {
+			e.Uvarint(uint64(av.Pred))
+			e.Str(av.Value)
+		}
+		e.Int(len(ent.Out))
+		for _, edge := range ent.Out {
+			e.Uvarint(uint64(edge.Pred))
+			e.Uvarint(uint64(edge.Target))
+		}
+		e.Int(len(ent.Types))
+		for _, t := range ent.Types {
+			e.Str(t)
+		}
+		e.Int(len(ent.Tokens))
+		for _, t := range ent.Tokens {
+			e.Str(t)
+		}
+	}
+}
+
+// ReadBinary deserializes a KB written by WriteBinary. It accepts
+// format versions 1 and 2; version 2 additionally verifies the
+// per-section checksums before decoding.
 func ReadBinary(r io.Reader) (*KB, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", errCorrupt, err)
+	dec := binio.NewReader(r)
+	dec.Magic(binaryMagic)
+	v := dec.Version(binaryVersionV1, binaryVersion)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
 	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", errCorrupt, magic[:])
+	kb := newEmptyKB()
+	if v == binaryVersionV1 {
+		kb.readHeader(dec)
+		kb.readPreds(dec)
+		kb.readStats(dec)
+		kb.readEntities(dec)
+	} else if err := kb.readSections(dec); err != nil {
+		return nil, err
 	}
-	dec := &binReader{r: br}
-	if v := dec.uvarint(); v != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", errCorrupt, v)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
 	}
-	kb := &KB{
+	kb.rebuildDerived()
+	return kb, nil
+}
+
+func newEmptyKB() *KB {
+	return &KB{
 		uriIndex:  make(map[string]EntityID),
 		predIndex: make(map[string]int32),
 		ef:        make(map[string]int32),
@@ -110,83 +152,126 @@ func ReadBinary(r io.Reader) (*KB, error) {
 		typeSet:   make(map[string]struct{}),
 		vocabSet:  make(map[string]struct{}),
 	}
-	kb.name = dec.str()
-	kb.numTriples = int(dec.uvarint())
+}
 
-	nPreds := dec.uvarint()
-	if dec.err == nil && nPreds > 1<<24 {
-		return nil, fmt.Errorf("%w: absurd predicate count %d", errCorrupt, nPreds)
+// readSections decodes the version-2 section stream. Sections are
+// checksummed and held in memory by binio, so they can be decoded in
+// dependency order (entities validate against the predicate dictionary)
+// regardless of their order on the wire; unknown IDs are skipped.
+func (kb *KB) readSections(dec *binio.Reader) error {
+	bodies := dec.Sections()
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("%w: %v", errCorrupt, err)
 	}
-	for i := uint64(0); i < nPreds && dec.err == nil; i++ {
-		p := dec.str()
+	for _, id := range []uint64{secHeader, secPreds, secStats, secEntities} {
+		body, ok := bodies[id]
+		if !ok {
+			return fmt.Errorf("%w: missing section %d", errCorrupt, id)
+		}
+		switch id {
+		case secHeader:
+			kb.readHeader(body)
+		case secPreds:
+			kb.readPreds(body)
+		case secStats:
+			kb.readStats(body)
+		case secEntities:
+			kb.readEntities(body)
+		}
+		if err := body.Err(); err != nil {
+			return fmt.Errorf("%w: section %d: %v", errCorrupt, id, err)
+		}
+	}
+	return nil
+}
+
+func (kb *KB) readHeader(dec *binio.Reader) {
+	kb.name = dec.Str()
+	kb.numTriples = dec.Int()
+}
+
+func (kb *KB) readPreds(dec *binio.Reader) {
+	n := dec.Uvarint()
+	if dec.Err() == nil && n > 1<<24 {
+		dec.Fail("absurd predicate count %d", n)
+		return
+	}
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		p := dec.Str()
 		kb.predIndex[p] = int32(len(kb.preds))
 		kb.preds = append(kb.preds, p)
 		kb.vocabSet[namespaceOf(p)] = struct{}{}
 	}
-	readStats := func(m map[int32]*PredStat) {
-		n := dec.uvarint()
-		for i := uint64(0); i < n && dec.err == nil; i++ {
-			pid := int32(dec.uvarint())
+}
+
+func (kb *KB) readStats(dec *binio.Reader) {
+	readSide := func(m map[int32]*PredStat) {
+		n := dec.Uvarint()
+		for i := uint64(0); i < n && dec.Err() == nil; i++ {
+			pid := int32(dec.Uvarint())
 			st := &PredStat{Pred: pid}
-			st.Entities = int(dec.uvarint())
-			st.Distinct = int(dec.uvarint())
-			st.Importance = dec.float()
+			st.Entities = dec.Int()
+			st.Distinct = dec.Int()
+			st.Importance = dec.Float()
 			if pid < 0 || int(pid) >= len(kb.preds) {
-				dec.fail("predicate id out of range")
+				dec.Fail("predicate id %d out of range", pid)
 				return
 			}
 			m[pid] = st
 		}
 	}
-	readStats(kb.attrStats)
-	readStats(kb.relStats)
+	readSide(kb.attrStats)
+	readSide(kb.relStats)
+}
 
-	nEnt := dec.uvarint()
-	if dec.err == nil && nEnt > 1<<31 {
-		return nil, fmt.Errorf("%w: absurd entity count %d", errCorrupt, nEnt)
+func (kb *KB) readEntities(dec *binio.Reader) {
+	nEnt := dec.Uvarint()
+	if dec.Err() == nil && nEnt > 1<<31 {
+		dec.Fail("absurd entity count %d", nEnt)
+		return
 	}
 	kb.entities = make([]Entity, 0, min64(nEnt, 1<<20))
-	for i := uint64(0); i < nEnt && dec.err == nil; i++ {
+	for i := uint64(0); i < nEnt && dec.Err() == nil; i++ {
 		var e Entity
-		e.URI = dec.str()
-		nAttrs := dec.uvarint()
-		for a := uint64(0); a < nAttrs && dec.err == nil; a++ {
-			pred := int32(dec.uvarint())
-			val := dec.str()
-			if int(pred) >= len(kb.preds) {
-				dec.fail("attribute predicate out of range")
+		e.URI = dec.Str()
+		nAttrs := dec.Uvarint()
+		for a := uint64(0); a < nAttrs && dec.Err() == nil; a++ {
+			pred := int32(dec.Uvarint())
+			val := dec.Str()
+			if pred < 0 || int(pred) >= len(kb.preds) {
+				dec.Fail("attribute predicate out of range")
 				break
 			}
 			e.Attrs = append(e.Attrs, AttrValue{Pred: pred, Value: val})
 		}
-		nOut := dec.uvarint()
-		for o := uint64(0); o < nOut && dec.err == nil; o++ {
-			pred := int32(dec.uvarint())
-			tgt := EntityID(dec.uvarint())
-			if int(pred) >= len(kb.preds) || uint64(tgt) >= nEnt {
-				dec.fail("edge out of range")
+		nOut := dec.Uvarint()
+		for o := uint64(0); o < nOut && dec.Err() == nil; o++ {
+			pred := int32(dec.Uvarint())
+			tgt := EntityID(dec.Uvarint())
+			if pred < 0 || int(pred) >= len(kb.preds) || uint64(tgt) >= nEnt {
+				dec.Fail("edge out of range")
 				break
 			}
 			e.Out = append(e.Out, Edge{Pred: pred, Target: tgt})
 		}
-		nTypes := dec.uvarint()
-		for x := uint64(0); x < nTypes && dec.err == nil; x++ {
-			typ := dec.str()
+		nTypes := dec.Uvarint()
+		for x := uint64(0); x < nTypes && dec.Err() == nil; x++ {
+			typ := dec.Str()
 			e.Types = append(e.Types, typ)
 			kb.typeSet[typ] = struct{}{}
 		}
-		nTokens := dec.uvarint()
-		for x := uint64(0); x < nTokens && dec.err == nil; x++ {
-			e.Tokens = append(e.Tokens, dec.str())
+		nTokens := dec.Uvarint()
+		for x := uint64(0); x < nTokens && dec.Err() == nil; x++ {
+			e.Tokens = append(e.Tokens, dec.Str())
 		}
 		kb.uriIndex[e.URI] = EntityID(len(kb.entities))
 		kb.entities = append(kb.entities, e)
 	}
-	if dec.err != nil {
-		return nil, dec.err
-	}
+}
 
-	// Rebuild derived structures.
+// rebuildDerived reconstructs in-edges, token EF counts, and the vocab
+// contribution of rdf:type from the decoded sections.
+func (kb *KB) rebuildDerived() {
 	if len(kb.typeSet) > 0 {
 		kb.vocabSet[namespaceOf(RDFType)] = struct{}{}
 	}
@@ -200,76 +285,6 @@ func ReadBinary(r io.Reader) (*KB, error) {
 			kb.ef[tok]++
 		}
 	}
-	return kb, nil
-}
-
-type binWriter struct {
-	w   *bufio.Writer
-	buf [binary.MaxVarintLen64]byte
-	err error
-}
-
-func (b *binWriter) uvarint(v uint64) {
-	if b.err != nil {
-		return
-	}
-	n := binary.PutUvarint(b.buf[:], v)
-	_, b.err = b.w.Write(b.buf[:n])
-}
-
-func (b *binWriter) str(s string) {
-	b.uvarint(uint64(len(s)))
-	if b.err != nil {
-		return
-	}
-	_, b.err = b.w.WriteString(s)
-}
-
-func (b *binWriter) float(f float64) {
-	b.uvarint(math.Float64bits(f))
-}
-
-type binReader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (b *binReader) fail(msg string) {
-	if b.err == nil {
-		b.err = fmt.Errorf("%w: %s", errCorrupt, msg)
-	}
-}
-
-func (b *binReader) uvarint() uint64 {
-	if b.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(b.r)
-	if err != nil {
-		b.err = fmt.Errorf("%w: %v", errCorrupt, err)
-	}
-	return v
-}
-
-func (b *binReader) str() string {
-	n := b.uvarint()
-	if b.err != nil {
-		return ""
-	}
-	if n > 1<<28 {
-		b.fail("absurd string length")
-		return ""
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(b.r, buf); err != nil {
-		b.err = fmt.Errorf("%w: %v", errCorrupt, err)
-		return ""
-	}
-	return string(buf)
-}
-
-func (b *binReader) float() float64 {
-	return math.Float64frombits(b.uvarint())
 }
 
 func min64(a uint64, b int) int {

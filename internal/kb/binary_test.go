@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"minoaner/internal/binio"
 	"minoaner/internal/rdf"
 )
 
@@ -136,6 +137,57 @@ func TestBinaryRejectsWrongVersion(t *testing.T) {
 	data[4] = 99 // version byte (uvarint, single byte for small values)
 	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
 		t.Error("wrong version accepted")
+	}
+}
+
+// TestBinaryChecksumDetectsBitFlips flips one bit at every offset past
+// the header: the section CRCs must reject every mutation (a flip that
+// survived would silently corrupt cached KBs).
+func TestBinaryChecksumDetectsBitFlips(t *testing.T) {
+	kb := buildTestKB(t)
+	var buf bytes.Buffer
+	if err := kb.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x08
+		if _, err := ReadBinary(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at offset %d accepted", off)
+		}
+	}
+}
+
+// TestBinaryReadsVersion1 replays the pre-checksum v1 wire format (the
+// same primitive streams without section framing) and checks the reader
+// still accepts it — cached .mkb files from older builds keep working.
+func TestBinaryReadsVersion1(t *testing.T) {
+	kb := buildTestKB(t)
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.Raw([]byte("MKB1"))
+	w.Uvarint(1) // version 1
+	w.Str(kb.name)
+	w.Int(kb.numTriples)
+	kb.writePreds(w)
+	kb.writeStats(w)
+	kb.writeEntities(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if back.Name() != kb.Name() || back.Len() != kb.Len() {
+		t.Errorf("v1 decode wrong: %s/%d vs %s/%d", back.Name(), back.Len(), kb.Name(), kb.Len())
+	}
+	for i := 0; i < kb.Len(); i++ {
+		id := EntityID(i)
+		if back.URI(id) != kb.URI(id) || !reflect.DeepEqual(back.Tokens(id), kb.Tokens(id)) {
+			t.Fatalf("v1 entity %d differs", i)
+		}
 	}
 }
 

@@ -195,6 +195,12 @@ type lineParser struct {
 }
 
 func parseLine(s string, line int) (Triple, error) {
+	// N-Triples documents are UTF-8; a line with raw invalid bytes
+	// cannot round-trip through the rune-based escaping of the writer,
+	// so it is malformed (and skippable in lenient mode).
+	if !utf8.ValidString(s) {
+		return Triple{}, &ParseError{Line: line, Msg: "invalid UTF-8"}
+	}
 	p := &lineParser{s: s, line: line}
 	subj, err := p.term()
 	if err != nil {
@@ -220,7 +226,10 @@ func parseLine(s string, line int) (Triple, error) {
 		return Triple{}, p.errf("trailing content after '.'")
 	}
 	t := Triple{Subject: subj, Predicate: pred, Object: obj}
-	if err := t.Validate(); err != nil {
+	// The full Validate's per-term UTF-8 scans are redundant here: the
+	// whole line was validated up front and escape decoding only emits
+	// valid runes, so only the structural checks remain.
+	if err := t.validateStructure(); err != nil {
 		return Triple{}, &ParseError{Line: line, Msg: err.Error()}
 	}
 	return t, nil

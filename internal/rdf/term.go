@@ -10,6 +10,7 @@ package rdf
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // TermKind discriminates the three kinds of RDF terms that can appear in
@@ -133,9 +134,34 @@ func (t Triple) String() string {
 	return b.String()
 }
 
-// Validate reports the first structural problem with the triple: subjects
-// must be IRIs or blank nodes, predicates IRIs, and IRIs non-empty.
+// Validate reports the first problem with the triple: structure
+// (subjects must be IRIs or blank nodes, predicates IRIs, IRIs
+// non-empty) and UTF-8 validity of every term.
 func (t Triple) Validate() error {
+	if err := t.validateStructure(); err != nil {
+		return err
+	}
+	// The writer's rune-based escaping would silently replace invalid
+	// UTF-8 with U+FFFD; reject it here so serialized triples always
+	// re-parse to themselves. The parser skips this re-scan — it
+	// validates each whole line up front (see parseLine).
+	for _, pair := range [...]struct{ what, s string }{
+		{"subject", t.Subject.Value},
+		{"predicate", t.Predicate.Value},
+		{"object", t.Object.Value},
+		{"language tag", t.Object.Lang},
+		{"datatype", t.Object.Datatype},
+	} {
+		if !utf8.ValidString(pair.s) {
+			return fmt.Errorf("rdf: %s is not valid UTF-8", pair.what)
+		}
+	}
+	return nil
+}
+
+// validateStructure checks the triple's shape without the UTF-8 scans;
+// the parser uses it on lines already validated as UTF-8.
+func (t Triple) validateStructure() error {
 	switch t.Subject.Kind {
 	case IRI, BlankNode:
 		if t.Subject.Value == "" {
@@ -154,20 +180,16 @@ func (t Triple) Validate() error {
 }
 
 func escapeIRI(s string) string {
-	if !strings.ContainsAny(s, "<>\"{}|^`\\\n\r\t") {
+	if !strings.ContainsAny(s, "<>\"{}|^`\\\n\r\t ") {
 		return s
 	}
 	var b strings.Builder
 	for _, r := range s {
 		switch r {
-		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+		// IRIREF allows only \u / \U escapes, so whitespace must use
+		// them too: a "\t" inside angle brackets would not re-parse.
+		case '<', '>', '"', '{', '}', '|', '^', '`', '\\', '\n', '\r', '\t', ' ':
 			fmt.Fprintf(&b, "\\u%04X", r)
-		case '\n':
-			b.WriteString("\\n")
-		case '\r':
-			b.WriteString("\\r")
-		case '\t':
-			b.WriteString("\\t")
 		default:
 			b.WriteRune(r)
 		}

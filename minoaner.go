@@ -29,6 +29,17 @@
 //	for _, m := range res.Matches {
 //	    fmt.Println(m.URI1, "<->", m.URI2)
 //	}
+//
+// # Serving resolution queries
+//
+// Matching is non-iterative, so a resolved KB pair is a static artifact
+// that can be persisted and queried forever: BuildIndex resolves the
+// pair once into an Index, SaveIndex / LoadIndex round-trip it through
+// a checksummed snapshot (see snapshot.go for the format), Index.Query
+// answers per-entity lookups in constant time from any number of
+// goroutines, and NewServer exposes the index over HTTP/JSON. The
+// minoaner CLI wraps the same flow as the snapshot and serve
+// subcommands; examples/serve is a runnable walkthrough.
 package minoaner
 
 import (
@@ -186,6 +197,16 @@ func (k *KB) Name() string { return k.kb.Name() }
 // Len returns the number of entities (distinct subjects).
 func (k *KB) Len() int { return k.kb.Len() }
 
+// URIs returns every entity URI of the KB, in internal ID order. It
+// allocates a fresh slice per call; the KB itself stays immutable.
+func (k *KB) URIs() []string {
+	out := make([]string, k.kb.Len())
+	for i := range out {
+		out[i] = k.kb.URI(kb.EntityID(i))
+	}
+	return out
+}
+
 // Stats returns the KB's summary statistics.
 func (k *KB) Stats() KBStats {
 	return KBStats{
@@ -287,19 +308,7 @@ func ResolveContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Resol
 	if err != nil {
 		return nil, err
 	}
-	var progress pipeline.Progress
-	if o.progress != nil {
-		progress = func(ev pipeline.ProgressEvent) {
-			o.progress(StageProgress{
-				Stage:  ev.Stage,
-				Index:  ev.Index,
-				Total:  ev.Total,
-				Done:   ev.Done,
-				Timing: stageTiming(ev.Stat),
-			})
-		}
-	}
-	res, err := m.RunPlan(ctx, m.Plan(), progress)
+	res, err := m.RunPlan(ctx, m.Plan(), o.pipelineProgress())
 	if err != nil {
 		return nil, err
 	}
@@ -362,22 +371,10 @@ func ResolveReaders(ctx context.Context, src1, src2 Source, cfg Config, opts ...
 	for _, opt := range opts {
 		opt(&o)
 	}
-	var progress pipeline.Progress
-	if o.progress != nil {
-		progress = func(ev pipeline.ProgressEvent) {
-			o.progress(StageProgress{
-				Stage:  ev.Stage,
-				Index:  ev.Index,
-				Total:  ev.Total,
-				Done:   ev.Done,
-				Timing: stageTiming(ev.Stat),
-			})
-		}
-	}
 	res, kb1, kb2, err := core.RunSources(ctx,
 		pipeline.Source{Name: src1.Name, R: src1.R, Lenient: src1.Lenient},
 		pipeline.Source{Name: src2.Name, R: src2.R, Lenient: src2.Lenient},
-		cfg.internal(), progress, false)
+		cfg.internal(), o.pipelineProgress(), false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,205 @@
+package minoaner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Serve layer: an http.Handler exposing one immutable Index over JSON.
+// All lookup endpoints are read-only against preloaded state, so one
+// Index safely serves any number of concurrent requests; responses for
+// the same query are identical under any interleaving.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness: {"status":"ok"}
+//	GET  /stats                IndexStats of the served index
+//	GET  /resolve?uri=U&uri=V  per-URI match lookup
+//	POST /resolve              same, URIs from JSON {"uris": [...]}
+//	POST /delta?name=N&lenient=1
+//	                           resolve an N-Triples delta (request body)
+//	                           against the index's first KB
+type server struct {
+	ix  *Index
+	mux *http.ServeMux
+}
+
+// NewServer returns an http.Handler serving resolution queries over the
+// index.
+func NewServer(ix *Index) http.Handler {
+	s := &server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /resolve", s.handleResolveGet)
+	s.mux.HandleFunc("POST /resolve", s.handleResolvePost)
+	s.mux.HandleFunc("POST /delta", s.handleDelta)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; nothing to do on write failure
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"matches": len(s.ix.matches),
+	})
+}
+
+// statsJSON mirrors IndexStats with JSON tags.
+type statsJSON struct {
+	KB1                    kbStatsJSON `json:"kb1"`
+	KB2                    kbStatsJSON `json:"kb2"`
+	Matches                int         `json:"matches"`
+	ByName                 int         `json:"by_name"`
+	ByValue                int         `json:"by_value"`
+	ByRank                 int         `json:"by_rank"`
+	DiscardedByReciprocity int         `json:"discarded_by_reciprocity"`
+	NameBlocks             int         `json:"name_blocks"`
+	TokenBlocks            int         `json:"token_blocks"`
+	NameComparisons        int64       `json:"name_comparisons"`
+	TokenComparisons       int64       `json:"token_comparisons"`
+	PurgedBlocks           int         `json:"purged_blocks"`
+}
+
+type kbStatsJSON struct {
+	Name     string `json:"name"`
+	Entities int    `json:"entities"`
+	Triples  int    `json:"triples"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	writeJSON(w, http.StatusOK, statsJSON{
+		KB1:                    kbStatsJSON{Name: s.ix.kb1.Name(), Entities: st.KB1.Entities, Triples: st.KB1.Triples},
+		KB2:                    kbStatsJSON{Name: s.ix.kb2.Name(), Entities: st.KB2.Entities, Triples: st.KB2.Triples},
+		Matches:                st.Matches,
+		ByName:                 st.ByName,
+		ByValue:                st.ByValue,
+		ByRank:                 st.ByRank,
+		DiscardedByReciprocity: st.DiscardedByReciprocity,
+		NameBlocks:             st.NameBlocks,
+		TokenBlocks:            st.TokenBlocks,
+		NameComparisons:        st.NameComparisons,
+		TokenComparisons:       st.TokenComparisons,
+		PurgedBlocks:           st.PurgedBlocks,
+	})
+}
+
+// matchJSON is one resolved pair.
+type matchJSON struct {
+	URI1 string `json:"uri1"`
+	URI2 string `json:"uri2"`
+}
+
+// queryResultJSON answers one queried URI.
+type queryResultJSON struct {
+	URI     string      `json:"uri"`
+	In1     bool        `json:"in_kb1"`
+	In2     bool        `json:"in_kb2"`
+	Matches []matchJSON `json:"matches"`
+}
+
+type resolveResponseJSON struct {
+	Results []queryResultJSON `json:"results"`
+}
+
+// maxResolveURIs bounds one /resolve request; batches beyond it should
+// be split client-side.
+const maxResolveURIs = 10000
+
+func (s *server) resolve(w http.ResponseWriter, uris []string) {
+	if len(uris) == 0 {
+		writeError(w, http.StatusBadRequest, "no URIs given: pass uri= query parameters or a JSON body {\"uris\": [...]}")
+		return
+	}
+	if len(uris) > maxResolveURIs {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d URIs in one request (limit %d)", len(uris), maxResolveURIs)
+		return
+	}
+	results := s.ix.Query(uris...)
+	resp := resolveResponseJSON{Results: make([]queryResultJSON, len(results))}
+	for i, qr := range results {
+		out := queryResultJSON{URI: qr.URI, In1: qr.In1, In2: qr.In2, Matches: []matchJSON{}}
+		for _, m := range qr.Matches {
+			out.Matches = append(out.Matches, matchJSON{URI1: m.URI1, URI2: m.URI2})
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleResolveGet(w http.ResponseWriter, r *http.Request) {
+	s.resolve(w, r.URL.Query()["uri"])
+}
+
+func (s *server) handleResolvePost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URIs []string `json:"uris"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	s.resolve(w, body.URIs)
+}
+
+// deltaResponseJSON reports a /delta resolution.
+type deltaResponseJSON struct {
+	Name         string      `json:"name"`
+	Entities     int         `json:"entities"`
+	Matches      []matchJSON `json:"matches"`
+	SkippedLines int         `json:"skipped_lines,omitempty"`
+}
+
+// maxDeltaBytes bounds one /delta body: the endpoint resolves small
+// deltas, not bulk re-ingests.
+const maxDeltaBytes = 64 << 20
+
+func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "delta"
+	}
+	lenient := r.URL.Query().Get("lenient") == "1"
+	src := Source{Name: name, R: http.MaxBytesReader(w, r.Body, maxDeltaBytes), Lenient: lenient}
+	res, err := s.ix.QueryReader(r.Context(), src)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, "delta exceeds %d bytes", maxDeltaBytes)
+		case r.Context().Err() != nil:
+			writeError(w, http.StatusServiceUnavailable, "request cancelled")
+		default:
+			writeError(w, http.StatusBadRequest, "resolving delta: %v", err)
+		}
+		return
+	}
+	resp := deltaResponseJSON{
+		Name:         name,
+		Matches:      []matchJSON{},
+		SkippedLines: res.SkippedLines2,
+	}
+	for _, m := range res.Matches {
+		resp.Matches = append(resp.Matches, matchJSON{URI1: m.URI1, URI2: m.URI2})
+	}
+	resp.Entities = res.kb2.Len()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,269 @@
+package minoaner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"minoaner/internal/binio"
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// Index snapshot format. A snapshot persists everything BuildIndex
+// derives — the two built KBs, the block collections, and the complete
+// match set — so a server process loads it and answers queries without
+// re-parsing a single triple. Layout (see internal/binio for the
+// section framing; every section is CRC32-checksummed):
+//
+//	magic "MSNP" | uvarint version | sections | end marker
+//
+//	section 1 (config):       the Config the index was built under
+//	section 2 (kb1):          first KB, embedded KB binary (internal/kb)
+//	section 3 (kb2):          second KB, embedded KB binary
+//	section 4 (name-blocks):  B_N, embedded collection binary (internal/blocking)
+//	section 5 (token-blocks): B_T after purging, embedded collection binary
+//	section 6 (stats):        purge result and block accounting
+//	section 7 (matches):      H1, H2, H3, final matches, H4 discard count
+//
+// Compatibility promise: a reader accepts exactly the format versions
+// it names (currently 1), skips unknown section IDs within them, and
+// rejects everything else — including any payload whose checksum does
+// not match — with an error wrapping ErrSnapshotCorrupt. Saving a
+// loaded index reproduces the snapshot bit-for-bit.
+
+var snapshotMagic = [4]byte{'M', 'S', 'N', 'P'}
+
+const snapshotVersion = 1
+
+// Section IDs of the snapshot frame.
+const (
+	snapConfig      = 1
+	snapKB1         = 2
+	snapKB2         = 3
+	snapNameBlocks  = 4
+	snapTokenBlocks = 5
+	snapStats       = 6
+	snapMatches     = 7
+)
+
+// ErrSnapshotCorrupt is wrapped by every LoadIndex failure caused by
+// damaged or incompatible data.
+var ErrSnapshotCorrupt = errors.New("minoaner: corrupt index snapshot")
+
+// SaveIndex writes the index snapshot. The encoding is deterministic:
+// saving the same index (built or loaded) always produces the same
+// bytes.
+func SaveIndex(w io.Writer, ix *Index) error {
+	bw := binio.NewWriter(w)
+	bw.Raw(snapshotMagic[:])
+	bw.Uvarint(snapshotVersion)
+	bw.Section(snapConfig, func(e *binio.Writer) {
+		writeConfig(e, ix.cfg)
+	})
+	if err := writeEmbedded(bw, snapKB1, ix.kb1.kb.WriteBinary); err != nil {
+		return err
+	}
+	if err := writeEmbedded(bw, snapKB2, ix.kb2.kb.WriteBinary); err != nil {
+		return err
+	}
+	if err := writeEmbedded(bw, snapNameBlocks, ix.nameBlocks.WriteBinary); err != nil {
+		return err
+	}
+	if err := writeEmbedded(bw, snapTokenBlocks, ix.tokenBlocks.WriteBinary); err != nil {
+		return err
+	}
+	bw.Section(snapStats, func(e *binio.Writer) {
+		e.Int(ix.purge.Cutoff1)
+		e.Int(ix.purge.Cutoff2)
+		e.Int(ix.purge.RemovedBlocks)
+		e.Uvarint(uint64(ix.purge.RemovedComparisons))
+		e.Int(ix.nameBlockCount)
+		e.Int(ix.tokenBlockCount)
+		e.Uvarint(uint64(ix.nameComparisons))
+		e.Uvarint(uint64(ix.tokenComparisons))
+	})
+	bw.Section(snapMatches, func(e *binio.Writer) {
+		writePairs(e, ix.h1)
+		writePairs(e, ix.h2)
+		writePairs(e, ix.h3)
+		writePairs(e, ix.matches)
+		e.Int(ix.discardedByH4)
+	})
+	bw.End()
+	return bw.Flush()
+}
+
+// LoadIndex reads an index snapshot written by SaveIndex, verifying
+// every section checksum and the referential integrity of the match
+// lists against the embedded KBs.
+func LoadIndex(r io.Reader) (*Index, error) {
+	dec := binio.NewReader(r)
+	dec.Magic(snapshotMagic)
+	dec.Version(snapshotVersion)
+	bodies := dec.Sections()
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	body := func(id uint64, name string) (*binio.Reader, error) {
+		b, ok := bodies[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %s section", ErrSnapshotCorrupt, name)
+		}
+		return b, nil
+	}
+
+	ix := &Index{}
+
+	b, err := body(snapConfig, "config")
+	if err != nil {
+		return nil, err
+	}
+	ix.cfg = readConfig(b)
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", ErrSnapshotCorrupt, err)
+	}
+
+	readKB := func(id uint64, name string) (*KB, error) {
+		b, err := body(id, name)
+		if err != nil {
+			return nil, err
+		}
+		built, err := kb.ReadBinary(b.Embedded())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+		}
+		return &KB{kb: built}, nil
+	}
+	if ix.kb1, err = readKB(snapKB1, "kb1"); err != nil {
+		return nil, err
+	}
+	if ix.kb2, err = readKB(snapKB2, "kb2"); err != nil {
+		return nil, err
+	}
+
+	readBlocks := func(id uint64, name string) (*blocking.Collection, error) {
+		b, err := body(id, name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := blocking.ReadBinary(b.Embedded())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
+		}
+		if n1, n2 := c.KBSizes(); n1 != ix.kb1.Len() || n2 != ix.kb2.Len() {
+			return nil, fmt.Errorf("%w: %s built for KB sizes (%d,%d), snapshot KBs have (%d,%d)",
+				ErrSnapshotCorrupt, name, n1, n2, ix.kb1.Len(), ix.kb2.Len())
+		}
+		return c, nil
+	}
+	if ix.nameBlocks, err = readBlocks(snapNameBlocks, "name-blocks"); err != nil {
+		return nil, err
+	}
+	if ix.tokenBlocks, err = readBlocks(snapTokenBlocks, "token-blocks"); err != nil {
+		return nil, err
+	}
+
+	if b, err = body(snapStats, "stats"); err != nil {
+		return nil, err
+	}
+	ix.purge.Cutoff1 = b.Int()
+	ix.purge.Cutoff2 = b.Int()
+	ix.purge.RemovedBlocks = b.Int()
+	ix.purge.RemovedComparisons = int64(b.Uvarint())
+	ix.nameBlockCount = b.Int()
+	ix.tokenBlockCount = b.Int()
+	ix.nameComparisons = int64(b.Uvarint())
+	ix.tokenComparisons = int64(b.Uvarint())
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("%w: stats: %v", ErrSnapshotCorrupt, err)
+	}
+
+	if b, err = body(snapMatches, "matches"); err != nil {
+		return nil, err
+	}
+	n1, n2 := ix.kb1.Len(), ix.kb2.Len()
+	ix.h1 = readPairs(b, n1, n2)
+	ix.h2 = readPairs(b, n1, n2)
+	ix.h3 = readPairs(b, n1, n2)
+	ix.matches = readPairs(b, n1, n2)
+	ix.discardedByH4 = b.Int()
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("%w: matches: %v", ErrSnapshotCorrupt, err)
+	}
+
+	ix.buildLookup()
+	return ix, nil
+}
+
+// writeEmbedded streams one nested format (KB or collection) into its
+// own section; the section framing delimits and checksums it.
+func writeEmbedded(bw *binio.Writer, id uint64, write func(io.Writer) error) error {
+	bw.Section(id, func(e *binio.Writer) {
+		e.Embed(write)
+	})
+	return bw.Err()
+}
+
+// writeConfig encodes the public Config (including the ablation
+// switches: an index built without H4 must query without H4 too).
+func writeConfig(e *binio.Writer, c Config) {
+	e.Int(c.K)
+	e.Int(c.N)
+	e.Int(c.NameAttributes)
+	e.Float(c.Theta)
+	e.Float(c.PurgeEntityFraction)
+	e.Int(c.PurgeMinEntities)
+	e.Int(c.Workers)
+	e.Bool(c.DisableH1)
+	e.Bool(c.DisableH2)
+	e.Bool(c.DisableH3)
+	e.Bool(c.DisableH4)
+}
+
+func readConfig(b *binio.Reader) Config {
+	var c Config
+	c.K = b.Int()
+	c.N = b.Int()
+	c.NameAttributes = b.Int()
+	c.Theta = b.Float()
+	c.PurgeEntityFraction = b.Float()
+	c.PurgeMinEntities = b.Int()
+	c.Workers = b.Int()
+	c.DisableH1 = b.Bool()
+	c.DisableH2 = b.Bool()
+	c.DisableH3 = b.Bool()
+	c.DisableH4 = b.Bool()
+	return c
+}
+
+func writePairs(e *binio.Writer, pairs []eval.Pair) {
+	e.Int(len(pairs))
+	for _, p := range pairs {
+		e.Uvarint(uint64(p.E1))
+		e.Uvarint(uint64(p.E2))
+	}
+}
+
+func readPairs(b *binio.Reader, n1, n2 int) []eval.Pair {
+	n := b.Int()
+	if b.Err() != nil {
+		return nil
+	}
+	if n > n1*n2 && n > 1<<20 {
+		b.Fail("absurd pair count %d", n)
+		return nil
+	}
+	out := make([]eval.Pair, 0, n)
+	for i := 0; i < n && b.Err() == nil; i++ {
+		e1 := b.Uvarint()
+		e2 := b.Uvarint()
+		if e1 >= uint64(n1) || e2 >= uint64(n2) {
+			b.Fail("pair (%d,%d) out of range for KB sizes (%d,%d)", e1, e2, n1, n2)
+			return nil
+		}
+		out = append(out, eval.Pair{E1: kb.EntityID(e1), E2: kb.EntityID(e2)})
+	}
+	return out
+}
