@@ -11,6 +11,8 @@
 //	                              # ingest-to-matches profile across worker counts
 //	benchtables -query-json BENCH_query.json
 //	                              # index build/save/load cost + per-query latency
+//	benchtables -delta-json BENCH_delta.json -delta-workers 1,2,4,8
+//	                              # prepared-side vs full-plan delta resolution latency
 //
 // Absolute numbers differ from the paper (the substrates are synthetic
 // stand-ins; see DESIGN.md §2); the comparative shapes are the
@@ -36,6 +38,7 @@ import (
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
 	"minoaner/internal/experiments"
+	"minoaner/internal/kb"
 	"minoaner/internal/pipeline"
 	"minoaner/internal/rdf"
 )
@@ -328,6 +331,160 @@ func writeQueryBench(path string, seed int64, scale float64) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// deltaCaseJSON is one measured delta resolution: a delta of the given
+// size resolved against the indexed KB1 through the full plan and
+// through the prepared substrate, with the built-in guarantee that both
+// produced the same matches.
+type deltaCaseJSON struct {
+	Entities     int     `json:"entities"`
+	Triples      int     `json:"triples"`
+	Matches      int     `json:"matches"`
+	FullNano     int64   `json:"full_plan_ns"`
+	PreparedNano int64   `json:"prepared_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// deltaDatasetJSON profiles the delta path of one benchmark.
+type deltaDatasetJSON struct {
+	Name      string `json:"name"`
+	Entities1 int    `json:"entities1"`
+	Entities2 int    `json:"entities2"`
+	// PrepareNano is the one-time cost of freezing the KB1 substrate.
+	PrepareNano int64 `json:"prepare_ns"`
+	// SingleEntity and Batches are the measured delta resolutions.
+	SingleEntity []deltaCaseJSON `json:"single_entity"`
+	Batches      []deltaCaseJSON `json:"batches"`
+	// MinSingleSpeedup is the smallest full/prepared ratio across the
+	// single-entity deltas — the conservative headline number.
+	MinSingleSpeedup float64 `json:"min_single_speedup"`
+	// EquivalenceWorkers lists the worker counts at which the prepared
+	// path was verified bit-identical to the full plan on every delta.
+	EquivalenceWorkers []int `json:"equivalence_workers"`
+}
+
+// deltaBenchJSON is the BENCH_delta.json document: prepared-side vs
+// full-plan delta resolution latency over every synthetic benchmark,
+// with a built-in bit-identity guard across worker counts.
+type deltaBenchJSON struct {
+	Seed     int64              `json:"seed"`
+	Scale    float64            `json:"scale"`
+	MaxProcs int                `json:"maxprocs"`
+	Datasets []deltaDatasetJSON `json:"datasets"`
+}
+
+// deltaPreparedReps is how many times each prepared-path resolution is
+// repeated; the recorded latency is the mean.
+const deltaPreparedReps = 5
+
+func writeDeltaBench(path string, datasets []*datagen.Dataset, seed int64, scale float64, workerCounts []int) error {
+	doc := deltaBenchJSON{Seed: seed, Scale: scale, MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, ds := range datasets {
+		cfg := core.DefaultConfig()
+		entry := deltaDatasetJSON{
+			Name:               ds.Name,
+			Entities1:          ds.KB1.Len(),
+			Entities2:          ds.KB2.Len(),
+			EquivalenceWorkers: workerCounts,
+		}
+		t0 := time.Now()
+		prep := pipeline.PrepareSide(ds.KB1, cfg.Params())
+		entry.PrepareNano = time.Since(t0).Nanoseconds()
+
+		n2 := ds.KB2.Len()
+		uri := func(e int) string { return ds.KB2.URI(kb.EntityID(e)) }
+		singles := [][]string{{uri(0)}, {uri(n2 / 2)}, {uri(n2 - 1)}}
+		var batches [][]string
+		for _, size := range []int{16, 128} {
+			if size >= n2 || size >= ds.KB1.Len() {
+				continue
+			}
+			sel := make([]string, 0, size)
+			for i := 0; i < size; i++ {
+				sel = append(sel, uri(i*n2/size))
+			}
+			batches = append(batches, sel)
+		}
+
+		measure := func(uris []string) (deltaCaseJSON, error) {
+			delta, triples, err := kb.FromTriplesSubset("delta", ds.Triples2, uris)
+			if err != nil {
+				return deltaCaseJSON{}, err
+			}
+			c := deltaCaseJSON{Entities: delta.Len(), Triples: triples}
+
+			m, err := core.NewMatcher(ds.KB1, delta, cfg)
+			if err != nil {
+				return c, err
+			}
+			t0 := time.Now()
+			full, err := m.RunContext(context.Background())
+			if err != nil {
+				return c, err
+			}
+			c.FullNano = time.Since(t0).Nanoseconds()
+			c.Matches = len(full.Matches)
+
+			var preparedTotal int64
+			for rep := 0; rep < deltaPreparedReps; rep++ {
+				t0 = time.Now()
+				fast, err := core.RunDelta(context.Background(), prep, delta, cfg, nil, false)
+				if err != nil {
+					return c, err
+				}
+				preparedTotal += time.Since(t0).Nanoseconds()
+				if !samePairs(fast.Matches, full.Matches) {
+					return c, fmt.Errorf("%s: prepared path diverges from full plan on a %d-entity delta",
+						ds.Name, delta.Len())
+				}
+			}
+			c.PreparedNano = preparedTotal / deltaPreparedReps
+			if c.PreparedNano > 0 {
+				c.Speedup = float64(c.FullNano) / float64(c.PreparedNano)
+			}
+
+			// Bit-identity across the worker sweep (the full plan's own
+			// worker invariance is guarded by BENCH_ingest.json).
+			for _, w := range workerCounts {
+				cfgW := cfg
+				cfgW.Workers = w
+				fast, err := core.RunDelta(context.Background(), prep, delta, cfgW, nil, false)
+				if err != nil {
+					return c, err
+				}
+				if !samePairs(fast.Matches, full.Matches) {
+					return c, fmt.Errorf("%s: prepared path diverges at workers=%d on a %d-entity delta",
+						ds.Name, w, delta.Len())
+				}
+			}
+			return c, nil
+		}
+
+		for _, sel := range singles {
+			c, err := measure(sel)
+			if err != nil {
+				return err
+			}
+			entry.SingleEntity = append(entry.SingleEntity, c)
+			if entry.MinSingleSpeedup == 0 || c.Speedup < entry.MinSingleSpeedup {
+				entry.MinSingleSpeedup = c.Speedup
+			}
+		}
+		for _, sel := range batches {
+			c, err := measure(sel)
+			if err != nil {
+				return err
+			}
+			entry.Batches = append(entry.Batches, c)
+		}
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 // samePairs compares match slices treating nil and empty as equal.
 func samePairs(a, b []eval.Pair) bool {
 	if len(a) != len(b) {
@@ -372,6 +529,8 @@ func main() {
 		ingestPath    = flag.String("ingest-json", "", "write the instrumented ingest-to-matches profile (N-Triples parsing, KB build, blocking, matching) to this JSON file (e.g. BENCH_ingest.json) instead of the paper tables")
 		ingestWorkers = flag.String("ingest-workers", "1,2,4,8", "comma-separated worker counts swept by -ingest-json")
 		queryPath     = flag.String("query-json", "", "write the query-path profile (index build, snapshot save/load, per-query latency over every KB2 entity) to this JSON file (e.g. BENCH_query.json) instead of the paper tables")
+		deltaPath     = flag.String("delta-json", "", "write the delta-resolution profile (prepared substrate vs full plan, single entities and batches, with a bit-identity guard) to this JSON file (e.g. BENCH_delta.json) instead of the paper tables")
+		deltaWorkers  = flag.String("delta-workers", "1,2,4,8", "comma-separated worker counts at which -delta-json verifies prepared/full bit-identity")
 	)
 	flag.Parse()
 
@@ -404,6 +563,21 @@ func main() {
 		if *timing {
 			fmt.Fprintf(os.Stderr, "pipeline bench in %v (written to %s)\n",
 				time.Since(t0).Round(time.Millisecond), *jsonPath)
+		}
+		return
+	}
+	if *deltaPath != "" {
+		counts, err := parseWorkerCounts(*deltaWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := writeDeltaBench(*deltaPath, datasets, *seed, *scale, counts); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "delta bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *deltaPath)
 		}
 		return
 	}

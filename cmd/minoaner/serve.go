@@ -9,18 +9,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"minoaner"
 )
 
 // runServe loads (or builds) an index and serves resolution queries
-// over HTTP/JSON until interrupted.
+// over HTTP/JSON until interrupted. SIGINT or SIGTERM triggers a
+// graceful shutdown that drains in-flight requests (a second signal
+// kills the process outright).
 func runServe(args []string) {
 	fs := flag.NewFlagSet("minoaner serve", flag.ExitOnError)
 	mc := declareMatchFlags(fs)
 	indexPath := fs.String("index", "", "snapshot file to serve (from 'minoaner snapshot'); overrides -kb1/-kb2")
 	addr := fs.String("addr", ":8080", "listen address")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "maximum duration for reading one request (body included)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "maximum duration for writing one response")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight requests")
 	fs.Parse(args)
 
 	var ix *minoaner.Index
@@ -41,6 +47,12 @@ func runServe(args []string) {
 		}
 		fmt.Fprintf(os.Stderr, "index built in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if !ix.Prepared() {
+		t0 := time.Now()
+		ix.Prepare()
+		fmt.Fprintf(os.Stderr, "delta substrate prepared in %v (persist it with 'minoaner snapshot')\n",
+			time.Since(t0).Round(time.Millisecond))
+	}
 	st := ix.Stats()
 	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities\n",
 		st.Matches, st.KB1.Entities, st.KB2.Entities)
@@ -49,9 +61,12 @@ func runServe(args []string) {
 		Addr:              *addr,
 		Handler:           minoaner.NewServer(ix),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
@@ -63,12 +78,13 @@ func runServe(args []string) {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
-		stop() // second Ctrl-C kills the process outright
-		fmt.Fprintln(os.Stderr, "shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		stop() // second signal kills the process outright
+		fmt.Fprintln(os.Stderr, "shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("shutdown: %v", err)
 		}
+		fmt.Fprintln(os.Stderr, "bye")
 	}
 }

@@ -19,6 +19,7 @@ func runSnapshot(args []string) {
 	fs := flag.NewFlagSet("minoaner snapshot", flag.ExitOnError)
 	mc := declareMatchFlags(fs)
 	out := fs.String("o", "index.msnp", "output snapshot file")
+	prepare := fs.Bool("prepare", true, "freeze the delta substrate into the snapshot so 'serve' answers /delta in O(|delta|) without re-deriving it")
 	inspect := fs.String("inspect", "", "describe an existing snapshot instead of building one")
 	fs.Parse(args)
 
@@ -42,6 +43,9 @@ func runSnapshot(args []string) {
 		log.Fatal(err)
 	}
 	built := time.Since(start)
+	if *prepare {
+		ix.Prepare()
+	}
 	if err := minoaner.SaveIndexFile(*out, ix); err != nil {
 		log.Fatalf("writing %s: %v", *out, err)
 	}
@@ -73,4 +77,9 @@ func inspectSnapshot(path string) {
 		st.NameBlocks, st.NameComparisons, st.TokenBlocks, st.TokenComparisons, st.PurgedBlocks)
 	fmt.Printf("  matches: %d (H1=%d H2=%d H3=%d, H4 discarded %d)\n",
 		st.Matches, st.ByName, st.ByValue, st.ByRank, st.DiscardedByReciprocity)
+	if ix.Prepared() {
+		fmt.Printf("  delta substrate: prepared (O(|delta|) /delta queries)\n")
+	} else {
+		fmt.Printf("  delta substrate: absent (built on demand; re-snapshot with -prepare to persist it)\n")
+	}
 }

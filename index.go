@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/core"
@@ -39,6 +40,12 @@ type Index struct {
 	discardedByH4 int
 
 	by1, by2 map[kb.EntityID][]int32 // entity -> positions in matches
+
+	// prep is the frozen left-side substrate of the prepared delta
+	// path: nil until Prepare builds it (or LoadIndex restores it from
+	// a snapshot), immutable afterwards.
+	prepMu sync.Mutex
+	prep   *pipeline.Prepared
 }
 
 // BuildIndex resolves the KB pair once and assembles the queryable
@@ -206,19 +213,86 @@ func appendNewPositions(a, b []int32) []int32 {
 	return a
 }
 
+// Prepare freezes the index's first KB into the prepared-side
+// substrate of the delta path: the one-sided token/name inverted index
+// and the sealed neighbor view. Building it costs one pass over KB1;
+// afterwards QueryKB resolves a delta by probing the frozen structures
+// with only the delta's keys — O(|delta|) work instead of re-blocking
+// the whole pair — while producing bit-identical matches. Prepare is
+// idempotent and safe to call concurrently with queries; the substrate
+// is persisted by SaveIndex once built.
+func (ix *Index) Prepare() {
+	ix.prepMu.Lock()
+	defer ix.prepMu.Unlock()
+	if ix.prep == nil {
+		ix.prep = pipeline.PrepareSide(ix.kb1.kb, ix.cfg.internal().Params())
+	}
+}
+
+// Prepared reports whether the prepared-side substrate is available
+// (built by Prepare or loaded from a snapshot that carried it).
+func (ix *Index) Prepared() bool { return ix.preparedSide() != nil }
+
+func (ix *Index) preparedSide() *pipeline.Prepared {
+	ix.prepMu.Lock()
+	defer ix.prepMu.Unlock()
+	return ix.prep
+}
+
+// setPreparedSide installs a substrate restored from a snapshot.
+func (ix *Index) setPreparedSide(p *pipeline.Prepared) {
+	ix.prepMu.Lock()
+	ix.prep = p
+	ix.prepMu.Unlock()
+}
+
 // QueryKB resolves a delta KB — one entity or a small batch of new
-// descriptions — against the index's first KB, reusing the standard
-// pipeline stages with the delta in the second KB's role. The indexed
-// KBs are immutable, so concurrent QueryKB calls are safe.
+// descriptions — against the index's first KB. When the prepared
+// substrate is available (see Prepare) and the delta is smaller than
+// KB1, the run probes the frozen structures with only the delta's
+// tokens and names, making the query O(|delta|); otherwise it
+// transparently falls back to the full plan, which re-blocks the whole
+// pair at O(|KB1|) per call. Both paths produce identical results. The
+// indexed KBs and the substrate are immutable, so concurrent QueryKB
+// calls are safe.
 //
-// Cost: the stages re-block the full pair, so each call is O(|KB1|)
-// regardless of delta size — the preloaded side is spared re-parsing
-// and re-derivation, not re-blocking. Query, by contrast, is a
-// constant-time lookup; route high-rate traffic there and reserve
-// QueryKB/QueryReader (and the serve layer's /delta) for genuinely new
-// descriptions.
+// Query, by contrast, is a constant-time lookup; route traffic about
+// already-indexed entities there and reserve QueryKB/QueryReader (and
+// the serve layer's /delta) for genuinely new descriptions.
 func (ix *Index) QueryKB(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+	if prep := ix.preparedSide(); prep != nil && delta.Len() < ix.kb1.Len() {
+		return ix.queryPrepared(ctx, prep, delta, opts...)
+	}
+	return ix.QueryKBFull(ctx, delta, opts...)
+}
+
+// QueryKBFast is QueryKB with the substrate guaranteed: it prepares on
+// first use (paying the one-time freeze there) and then always takes
+// the prepared path when the delta qualifies.
+func (ix *Index) QueryKBFast(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+	ix.Prepare()
+	return ix.QueryKB(ctx, delta, opts...)
+}
+
+// QueryKBFull resolves the delta with the full plan, re-blocking the
+// entire pair. It exists for benchmarking and for equivalence checks
+// against the prepared path; QueryKB is the right entry point for
+// serving.
+func (ix *Index) QueryKBFull(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
 	return ResolveContext(ctx, ix.kb1, delta, ix.cfg, opts...)
+}
+
+// queryPrepared runs the delta plan against the frozen substrate.
+func (ix *Index) queryPrepared(ctx context.Context, prep *pipeline.Prepared, delta *KB, opts ...ResolveOption) (*Result, error) {
+	var o resolveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res, err := core.RunDelta(ctx, prep, delta.kb, ix.cfg.internal(), o.pipelineProgress(), o.progress != nil)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res, ix.kb1.kb, delta.kb), nil
 }
 
 // QueryReader parses a small N-Triples delta and resolves it against

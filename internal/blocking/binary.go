@@ -26,6 +26,15 @@ import (
 // that is pure derivation. Unknown section IDs are skipped, so a
 // same-version reader tolerates future appended sections.
 
+// The prepared one-sided substrate has its own frame (same section
+// discipline) so an index snapshot can embed it next to the
+// collections:
+//
+//	magic "MPS1" | uvarint version | sections | end marker
+//
+//	section 1 (header):   |E1|, nameK, token-key count, name-key count
+//	section 2 (tokens):   per key (ascending): key, members
+//	section 3 (names):    per key (ascending): key, members
 var collectionMagic = [4]byte{'M', 'B', 'C', '1'}
 
 const collectionVersion = 1
@@ -131,4 +140,125 @@ func ReadBinary(r io.Reader) (*Collection, error) {
 		return nil, fmt.Errorf("%w: blocks: %v", errCorrupt, err)
 	}
 	return c, nil
+}
+
+var preparedMagic = [4]byte{'M', 'P', 'S', '1'}
+
+const preparedVersion = 1
+
+// Section IDs of the prepared-substrate frame.
+const (
+	secPrepHeader = 1
+	secPrepTokens = 2
+	secPrepNames  = 3
+)
+
+// errCorruptPrepared wraps structural failures of the prepared decoder.
+var errCorruptPrepared = errors.New("blocking: corrupt prepared substrate")
+
+// WriteBinary serializes the prepared substrate. Keys are written in
+// ascending order, so the encoding is deterministic: the same substrate
+// always produces the same bytes.
+func (p *Prepared) WriteBinary(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Raw(preparedMagic[:])
+	bw.Uvarint(preparedVersion)
+	bw.Section(secPrepHeader, func(e *binio.Writer) {
+		e.Int(p.n1)
+		e.Int(p.nameK)
+		e.Int(len(p.tokens))
+		e.Int(len(p.names))
+	})
+	writeSide := func(id uint64, m map[string][]kb.EntityID) {
+		bw.Section(id, func(e *binio.Writer) {
+			for _, key := range sortedKeys(m) {
+				e.Str(key)
+				members := m[key]
+				e.Int(len(members))
+				for _, id := range members {
+					e.Uvarint(uint64(id))
+				}
+			}
+		})
+	}
+	writeSide(secPrepTokens, p.tokens)
+	writeSide(secPrepNames, p.names)
+	bw.End()
+	return bw.Flush()
+}
+
+// ReadPrepared deserializes a substrate written by
+// Prepared.WriteBinary, verifying the per-section checksums and that
+// every member list is ascending and in range for the recorded KB size.
+func ReadPrepared(r io.Reader) (*Prepared, error) {
+	dec := binio.NewReader(r)
+	dec.Magic(preparedMagic)
+	dec.Version(preparedVersion)
+	bodies := dec.Sections()
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorruptPrepared, err)
+	}
+
+	header, ok := bodies[secPrepHeader]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing header section", errCorruptPrepared)
+	}
+	p := &Prepared{}
+	p.n1 = header.Int()
+	p.nameK = header.Int()
+	nTokens := header.Int()
+	nNames := header.Int()
+	if err := header.Err(); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", errCorruptPrepared, err)
+	}
+	if nTokens > 1<<31 || nNames > 1<<31 {
+		return nil, fmt.Errorf("%w: absurd key counts (%d, %d)", errCorruptPrepared, nTokens, nNames)
+	}
+
+	readSide := func(id uint64, name string, nKeys int) (map[string][]kb.EntityID, error) {
+		body, ok := bodies[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %s section", errCorruptPrepared, name)
+		}
+		// Preallocations are capped: the counts come from the (checksummed
+		// but still possibly hostile) header, so a crafted file must fail
+		// with ErrCorrupt when its payload runs out, not pre-commit huge
+		// allocations.
+		m := make(map[string][]kb.EntityID, min(nKeys, 1<<20))
+		for i := 0; i < nKeys && body.Err() == nil; i++ {
+			key := body.Str()
+			n := body.Int()
+			if body.Err() != nil {
+				break
+			}
+			if n > p.n1 {
+				body.Fail("posting larger than the KB (%d > %d)", n, p.n1)
+				break
+			}
+			members := make([]kb.EntityID, 0, min(n, 1<<20))
+			prev := int64(-1)
+			for j := 0; j < n && body.Err() == nil; j++ {
+				id := body.Uvarint()
+				if id >= uint64(p.n1) || int64(id) <= prev {
+					body.Fail("posting member %d out of order or range [0,%d)", id, p.n1)
+					break
+				}
+				prev = int64(id)
+				members = append(members, kb.EntityID(id))
+			}
+			m[key] = members
+		}
+		if err := body.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", errCorruptPrepared, name, err)
+		}
+		return m, nil
+	}
+	var err error
+	if p.tokens, err = readSide(secPrepTokens, "tokens", nTokens); err != nil {
+		return nil, err
+	}
+	if p.names, err = readSide(secPrepNames, "names", nNames); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

@@ -65,7 +65,18 @@ func (m *Matcher) Plan() []pipeline.Stage {
 // needing built KBs: the full composition with the stages switched off
 // by the Disable flags dropped.
 func PlanFor(cfg Config) []pipeline.Stage {
-	plan := pipeline.DefaultPlan()
+	return dropDisabled(pipeline.DefaultPlan(), cfg)
+}
+
+// DeltaPlanFor is PlanFor for prepared-side runs: the delta plan with
+// the same ablation drops, so an index built without a heuristic
+// queries without it too.
+func DeltaPlanFor(cfg Config) []pipeline.Stage {
+	return dropDisabled(pipeline.DeltaPlan(), cfg)
+}
+
+// dropDisabled applies the Disable flags to a plan as stage drops.
+func dropDisabled(plan []pipeline.Stage, cfg Config) []pipeline.Stage {
 	if cfg.DisableH1 {
 		plan = pipeline.Drop(plan, pipeline.StageNameMatching)
 	}
@@ -138,6 +149,28 @@ func RunSources(ctx context.Context, src1, src2 pipeline.Source, cfg Config, pro
 		return nil, nil, nil, err
 	}
 	return resultFromState(st, stats), st.KB1, st.KB2, nil
+}
+
+// RunDelta resolves a delta KB against a prepared left side: the
+// delta-plan counterpart of RunSources. The substrate must have been
+// built (pipeline.PrepareSide) under the same NameK and N as cfg, and
+// the delta must be strictly smaller than the prepared KB; violations
+// surface as errors rather than wrong answers. The result is
+// bit-identical to the full plan over (prepared KB, delta).
+func RunDelta(ctx context.Context, prep *pipeline.Prepared, delta *kb.KB, cfg Config, progress pipeline.Progress, allocStats bool) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := pipeline.NewDeltaState(prep, delta, cfg.Params())
+	if err != nil {
+		return nil, err
+	}
+	eng := pipeline.Engine{Plan: DeltaPlanFor(cfg), Progress: progress, AllocStats: allocStats || progress != nil}
+	stats, err := eng.Run(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromState(st, stats), nil
 }
 
 func resultFromState(st *pipeline.State, stats []pipeline.StageStat) *Result {

@@ -1,0 +1,73 @@
+package kb
+
+import (
+	"context"
+
+	"minoaner/internal/parallel"
+)
+
+// Frozen is a sealed neighbor view of one KB: the per-entity best
+// neighbors under a fixed N (see TopNeighbors) together with the
+// reverse index, both materialized once. Prepared-side matching derives
+// these for the indexed KB a single time instead of once per query; the
+// view is immutable after Freeze and safe for concurrent readers.
+type Frozen struct {
+	kb  *KB
+	n   int
+	top [][]EntityID // TopNeighbors(e, n) per entity
+	rev [][]EntityID // entities listing e among their best neighbors
+}
+
+// Freeze materializes the neighbor view for the given N, computing the
+// per-entity top-neighbor lists across the given worker count (<= 0
+// selects GOMAXPROCS). The result is identical at every count.
+func (kb *KB) Freeze(n, workers int) *Frozen {
+	top := make([][]EntityID, kb.Len())
+	_ = parallel.For(context.Background(), kb.Len(), parallel.Workers(workers), func(_, start, end int) error {
+		for e := start; e < end; e++ {
+			top[e] = kb.TopNeighbors(EntityID(e), n)
+		}
+		return nil
+	})
+	return FrozenFromLists(kb, n, top)
+}
+
+// FrozenFromLists assembles a Frozen view from already-materialized
+// top-neighbor lists (e.g. loaded from a snapshot), deriving the
+// reverse index. The lists must be what Freeze would compute for the
+// same KB and N; callers loading persisted lists validate ID ranges
+// before calling.
+func FrozenFromLists(kb *KB, n int, top [][]EntityID) *Frozen {
+	return &Frozen{kb: kb, n: n, top: top, rev: ReverseNeighbors(top, kb.Len())}
+}
+
+// ReverseNeighbors inverts top-neighbor lists over a KB of size n: for
+// each entity x, the entities that count x among their best neighbors,
+// in ascending order.
+func ReverseNeighbors(top [][]EntityID, n int) [][]EntityID {
+	rev := make([][]EntityID, n)
+	for e, nbrs := range top {
+		for _, x := range nbrs {
+			rev[x] = append(rev[x], EntityID(e))
+		}
+	}
+	return rev
+}
+
+// KB returns the underlying knowledge base.
+func (f *Frozen) KB() *KB { return f.kb }
+
+// N returns the relation count the view was frozen for.
+func (f *Frozen) N() int { return f.n }
+
+// Top returns the frozen best-neighbor list of an entity. Callers must
+// not mutate it.
+func (f *Frozen) Top(e EntityID) []EntityID { return f.top[e] }
+
+// TopLists returns the per-entity best-neighbor lists, indexed by
+// entity ID. Callers must not mutate them.
+func (f *Frozen) TopLists() [][]EntityID { return f.top }
+
+// RevLists returns the reverse neighbor index, indexed by entity ID.
+// Callers must not mutate it.
+func (f *Frozen) RevLists() [][]EntityID { return f.rev }

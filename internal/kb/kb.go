@@ -340,7 +340,7 @@ func (b *Builder) Build() (*KB, error) {
 	skey := make([]string, len(b.terms))
 	subjectKeyOf := func(id int32) string {
 		if skey[id] == "" {
-			skey[id] = subjectKey(b.terms[id])
+			skey[id] = SubjectKey(b.terms[id])
 		}
 		return skey[id]
 	}
@@ -586,7 +586,11 @@ func importance(st *PredStat, numEntities float64) float64 {
 	return 2 * support * discr / (support + discr)
 }
 
-func subjectKey(t rdf.Term) string {
+// SubjectKey returns the entity key a term produces when it appears in
+// subject position: the IRI itself, or "_:"-prefixed for blank nodes.
+// It is the key Lookup resolves, letting callers slice triple sets by
+// entity without rebuilding a KB.
+func SubjectKey(t rdf.Term) string {
 	if t.IsBlank() {
 		return "_:" + t.Value
 	}
@@ -635,6 +639,30 @@ func FromTriples(name string, ts []rdf.Triple) (*KB, error) {
 		return nil, err
 	}
 	return b.Build()
+}
+
+// FromTriplesSubset builds a KB from the triples whose subject key
+// (SubjectKey) is one of the given URIs — the standard way to slice a
+// delta out of a larger triple set. It returns the KB and the number
+// of triples selected.
+func FromTriplesSubset(name string, ts []rdf.Triple, subjects []string) (*KB, int, error) {
+	want := make(map[string]bool, len(subjects))
+	for _, u := range subjects {
+		want[u] = true
+	}
+	b := NewBuilder(name)
+	selected := 0
+	for _, t := range ts {
+		if !want[SubjectKey(t.Subject)] {
+			continue
+		}
+		if err := b.Add(t); err != nil {
+			return nil, selected, err
+		}
+		selected++
+	}
+	built, err := b.Build()
+	return built, selected, err
 }
 
 // String summarizes the KB for diagnostics.

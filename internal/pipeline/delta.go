@@ -1,0 +1,342 @@
+// Prepared-side matching: the stages and state variant that resolve a
+// small delta KB against a frozen left side in O(|delta|) instead of
+// re-deriving the full pair. The left KB's blocking substrate
+// (blocking.Prepared) and neighbor view (kb.Frozen) are built once;
+// a delta run probes them with only the delta's keys, and the side-1
+// candidate arrays — which the full plan materializes for every left
+// entity — are computed lazily for just the entities the matching
+// heuristics actually touch.
+//
+// The delta plan is bit-identical to the full plan on the same pair:
+// probed collections reproduce the full construction's blocks in the
+// same key order with the same member order, purging and ARCS
+// weighting run unchanged on them, and the lazy side-1 computations
+// accumulate in exactly the order the eager stages use, so every
+// floating-point sum — and therefore every match — is the same.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+)
+
+// Prepared bundles the frozen left side of a delta run: the one-sided
+// blocking substrate and the sealed neighbor view. Build it once with
+// PrepareSide (or load it from a snapshot) and share it across any
+// number of concurrent delta runs.
+type Prepared struct {
+	// Blocks is the frozen token/name inverted index of the left KB.
+	Blocks *blocking.Prepared
+	// Neighbors is the sealed best-neighbor view of the left KB.
+	Neighbors *kb.Frozen
+}
+
+// PrepareSide freezes kb1 under the given parameters. The substrate is
+// valid only for delta runs with the same NameK and N.
+func PrepareSide(kb1 *kb.KB, p Params) *Prepared {
+	return &Prepared{
+		Blocks:    blocking.Prepare(kb1, p.NameK, p.workers()),
+		Neighbors: kb1.Freeze(p.N, p.workers()),
+	}
+}
+
+// deltaSide is the per-run working set of a prepared-side State: the
+// probed collection's sparse side-1 index plus the lazily materialized
+// side-1 candidate lists.
+type deltaSide struct {
+	prep *Prepared
+
+	byE1 map[kb.EntityID][]int32 // set by DeltaBlockIndexing
+	rev2 [][]kb.EntityID         // delta-side reverse neighbors, set by DeltaNeighborCandidates
+
+	vcDone, ncDone bool // stage-completion markers for preconditions
+
+	// Lazy side-1 candidates, keyed by left entity. Map presence marks
+	// "computed" (a nil list is a valid result). Filled only during the
+	// single-goroutine matching stages, so no locking is needed.
+	vc1 map[kb.EntityID][]Cand
+	nc1 map[kb.EntityID][]Cand
+	acc *accumulator // sized |delta|, reused across lazy fills
+}
+
+// NewDeltaState prepares the blackboard for one prepared-side run of a
+// delta KB against the frozen left side. The delta must be strictly
+// smaller than the left KB (so the matching heuristics emit from the
+// delta side; larger deltas should run the full plan), and the
+// substrate must have been prepared under the same NameK and N.
+func NewDeltaState(prep *Prepared, delta *kb.KB, p Params) (*State, error) {
+	if prep == nil || prep.Blocks == nil || prep.Neighbors == nil {
+		return nil, errors.New("pipeline: delta state requires a prepared side (PrepareSide)")
+	}
+	if prep.Blocks.KBSize() != prep.Neighbors.KB().Len() {
+		return nil, fmt.Errorf("pipeline: prepared blocks cover %d entities, neighbor view %d",
+			prep.Blocks.KBSize(), prep.Neighbors.KB().Len())
+	}
+	if prep.Blocks.NameK() != p.NameK {
+		return nil, fmt.Errorf("pipeline: substrate prepared with NameK=%d, run wants %d", prep.Blocks.NameK(), p.NameK)
+	}
+	if prep.Neighbors.N() != p.N {
+		return nil, fmt.Errorf("pipeline: substrate prepared with N=%d, run wants %d", prep.Neighbors.N(), p.N)
+	}
+	if delta.Len() >= prep.Neighbors.KB().Len() {
+		return nil, fmt.Errorf("pipeline: delta (%d entities) is not smaller than the prepared KB (%d); run the full plan",
+			delta.Len(), prep.Neighbors.KB().Len())
+	}
+	st := NewState(prep.Neighbors.KB(), delta, p)
+	st.delta = &deltaSide{
+		prep: prep,
+		vc1:  make(map[kb.EntityID][]Cand),
+		nc1:  make(map[kb.EntityID][]Cand),
+		acc:  newAccumulator(delta.Len()),
+	}
+	return st, nil
+}
+
+// DeltaPlan returns the prepared-side counterpart of DefaultPlan. The
+// probe and delta stages keep the standard stage names, so plan edits
+// (ablation Drops) and progress reporting work identically; purging,
+// token weighting, and all four matching heuristics are the very same
+// stages the full plan runs.
+func DeltaPlan() []Stage {
+	return []Stage{
+		ProbeNameBlocking(),
+		ProbeTokenBlocking(),
+		BlockPurging(),
+		DeltaBlockIndexing(),
+		TokenWeighting(),
+		DeltaValueCandidates(),
+		DeltaNeighborCandidates(),
+		NameMatching(),
+		ValueMatching(),
+		RankAggregation(),
+		Union(),
+		Reciprocity(),
+	}
+}
+
+// errNotDelta guards the delta-only stages against full states.
+var errNotDelta = errors.New("requires a prepared-side state (build it with NewDeltaState)")
+
+// ProbeNameBlocking builds B_N by probing the frozen name index with
+// the delta's name keys.
+func ProbeNameBlocking() Stage {
+	return newStage(StageNameBlocking, func(ctx context.Context, st *State) error {
+		if st.delta == nil {
+			return errNotDelta
+		}
+		var err error
+		st.NameBlocks, err = st.delta.prep.Blocks.ProbeNameBlocks(ctx, st.KB2)
+		if err != nil {
+			return err
+		}
+		st.NameBlockCount = st.NameBlocks.Size()
+		st.NameComparisons = st.NameBlocks.Comparisons()
+		return nil
+	})
+}
+
+// ProbeTokenBlocking builds the raw B_T by probing the frozen token
+// index with the delta's tokens.
+func ProbeTokenBlocking() Stage {
+	return newStage(StageTokenBlocking, func(ctx context.Context, st *State) error {
+		if st.delta == nil {
+			return errNotDelta
+		}
+		var err error
+		st.TokenBlocks, err = st.delta.prep.Blocks.ProbeTokenBlocks(ctx, st.KB2)
+		return err
+	})
+}
+
+// DeltaBlockIndexing indexes the purged B_T for a delta run: the delta
+// side fully (it drives candidate scoring), the left side as a sparse
+// map covering only the entities the probed blocks actually contain —
+// the access path of the lazy side-1 candidate fills.
+func DeltaBlockIndexing() Stage {
+	return newStage(StageBlockIndexing, func(ctx context.Context, st *State) error {
+		if st.delta == nil {
+			return errNotDelta
+		}
+		if st.TokenBlocks == nil {
+			return errors.New("requires token blocks (run " + StageTokenBlocking + " first)")
+		}
+		st.TokenIndex = &blocking.Index{ByE2: st.TokenBlocks.BuildIndexSide2()}
+		st.delta.byE1 = st.TokenBlocks.BuildIndexSide1Sparse()
+		return nil
+	})
+}
+
+// DeltaValueCandidates computes the top-K value candidates of every
+// delta entity — the same accumulation the eager stage performs for
+// side 2 — and arms the lazy side-1 path for the entities H4 touches.
+func DeltaValueCandidates() Stage {
+	return newStage(StageValueCandidates, func(ctx context.Context, st *State) error {
+		if st.delta == nil {
+			return errNotDelta
+		}
+		if st.TokenIndex == nil {
+			return errors.New("requires the token-block index (run " + StageBlockIndexing + " first)")
+		}
+		if st.Weights == nil {
+			return errors.New("requires token weights (run " + StageTokenWeighting + " first)")
+		}
+		bt, idx, weights := st.TokenBlocks, st.TokenIndex, st.Weights
+		n1 := st.KB1.Len()
+		out := make([][]Cand, st.KB2.Len())
+		err := parallelFor(ctx, st.KB2.Len(), st.Params.workers(), func(worker, start, end int) error {
+			acc := newAccumulator(n1)
+			for e := start; e < end; e++ {
+				if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				for _, bi := range idx.ByE2[e] {
+					w := weights[bi]
+					for _, o := range bt.Blocks[bi].E1 {
+						acc.add(int32(o), w)
+					}
+				}
+				out[e] = acc.topK(st.Params.K)
+				acc.reset()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.ValueCands2 = out
+		st.delta.vcDone = true
+		return nil
+	})
+}
+
+// DeltaNeighborCandidates computes the top-K neighbor candidates of
+// every delta entity from the delta's own best neighbors and the
+// frozen reverse-neighbor view of the left side, and retains the
+// delta-side reverse index the lazy side-1 fills need.
+func DeltaNeighborCandidates() Stage {
+	return newStage(StageNeighborCandidates, func(ctx context.Context, st *State) error {
+		if st.delta == nil {
+			return errNotDelta
+		}
+		if !st.delta.vcDone {
+			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
+		}
+		top2 := topNeighborLists(st.KB2, st.Params.N)
+		rev2 := reverseNeighborIndex(top2, st.KB2.Len())
+		rev1 := st.delta.prep.Neighbors.RevLists()
+		vc2 := st.ValueCands2
+		out := make([][]Cand, st.KB2.Len())
+		err := parallelFor(ctx, st.KB2.Len(), st.Params.workers(), func(worker, start, end int) error {
+			acc := newAccumulator(st.KB1.Len())
+			for e := start; e < end; e++ {
+				if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				for _, nej := range top2[e] {
+					for _, cand := range vc2[nej] {
+						if cand.Sim <= 0 {
+							continue
+						}
+						for _, e1 := range rev1[cand.ID] {
+							acc.add(int32(e1), cand.Sim)
+						}
+					}
+				}
+				out[e] = acc.topK(st.Params.K)
+				acc.reset()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		st.NeighborCands2 = out
+		st.delta.rev2 = rev2
+		st.delta.ncDone = true
+		return nil
+	})
+}
+
+// haveValueCands reports whether value-candidate evidence is available
+// on both sides — materialized arrays, or the lazy side-1 path of a
+// delta run.
+func (s *State) haveValueCands() bool {
+	if s.delta != nil {
+		return s.delta.vcDone && s.ValueCands2 != nil
+	}
+	return s.ValueCands1 != nil && s.ValueCands2 != nil
+}
+
+// haveNeighborCands is haveValueCands for neighbor evidence.
+func (s *State) haveNeighborCands() bool {
+	if s.delta != nil {
+		return s.delta.ncDone && s.NeighborCands2 != nil
+	}
+	return s.NeighborCands1 != nil && s.NeighborCands2 != nil
+}
+
+// valueCands1At returns the value candidates of a left entity,
+// materializing them lazily on a delta run. The lazy fill accumulates
+// over the entity's blocks in ascending position with members in block
+// order — exactly the eager stage's order — so the similarities (and
+// their top-K cut) are bit-identical.
+func (s *State) valueCands1At(e kb.EntityID) []Cand {
+	if s.delta == nil {
+		return s.ValueCands1[e]
+	}
+	d := s.delta
+	if cands, done := d.vc1[e]; done {
+		return cands
+	}
+	for _, bi := range d.byE1[e] {
+		w := s.Weights[bi]
+		for _, o := range s.TokenBlocks.Blocks[bi].E2 {
+			d.acc.add(int32(o), w)
+		}
+	}
+	cands := d.acc.topK(s.Params.K)
+	d.acc.reset()
+	d.vc1[e] = cands
+	return cands
+}
+
+// neighborCands1At returns the neighbor candidates of a left entity,
+// materializing them lazily on a delta run from the frozen neighbor
+// lists and the (lazy) value candidates of the entity's neighbors.
+func (s *State) neighborCands1At(e kb.EntityID) []Cand {
+	if s.delta == nil {
+		return s.NeighborCands1[e]
+	}
+	d := s.delta
+	if cands, done := d.nc1[e]; done {
+		return cands
+	}
+	// The lazy value fills below share d.acc; gather the neighbor
+	// contributions first so the aggregation uses it exclusively.
+	type contrib struct {
+		id  kb.EntityID
+		sim float64
+	}
+	var contribs []contrib
+	for _, nei := range d.prep.Neighbors.Top(e) {
+		for _, cand := range s.valueCands1At(nei) {
+			if cand.Sim <= 0 {
+				continue
+			}
+			for _, e2 := range d.rev2[cand.ID] {
+				contribs = append(contribs, contrib{id: e2, sim: cand.Sim})
+			}
+		}
+	}
+	for _, c := range contribs {
+		d.acc.add(int32(c.id), c.sim)
+	}
+	cands := d.acc.topK(s.Params.K)
+	d.acc.reset()
+	d.nc1[e] = cands
+	return cands
+}

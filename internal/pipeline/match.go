@@ -61,9 +61,11 @@ func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID
 }
 
 // reciprocal implements H4: e2 must appear in e1's top-K value or
-// neighbor candidates, and vice versa.
+// neighbor candidates, and vice versa. Side-1 lists go through the
+// lazy accessors so prepared-side runs only materialize them for the
+// entities that reach this check.
 func (s *State) reciprocal(p eval.Pair) bool {
-	return containsCand(s.ValueCands1[p.E1], s.NeighborCands1[p.E1], p.E2) &&
+	return containsCand(s.valueCands1At(p.E1), s.neighborCands1At(p.E1), p.E2) &&
 		containsCand(s.ValueCands2[p.E2], s.NeighborCands2[p.E2], p.E1)
 }
 

@@ -259,7 +259,7 @@ func NameMatching() Stage {
 // many common, infrequent tokens.
 func ValueMatching() Stage {
 	return newStage(StageValueMatching, func(ctx context.Context, st *State) error {
-		if st.ValueCands1 == nil || st.ValueCands2 == nil {
+		if !st.haveValueCands() {
 			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
 		}
 		st.H2TakenA = make(map[kb.EntityID]struct{})
@@ -290,10 +290,10 @@ func ValueMatching() Stage {
 // ranks.
 func RankAggregation() Stage {
 	return newStage(StageRankAggregation, func(ctx context.Context, st *State) error {
-		if st.ValueCands1 == nil || st.ValueCands2 == nil {
+		if !st.haveValueCands() {
 			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
 		}
-		if st.NeighborCands1 == nil || st.NeighborCands2 == nil {
+		if !st.haveNeighborCands() {
 			return errors.New("requires neighbor candidates (run " + StageNeighborCandidates + " first)")
 		}
 		em := st.emission()
@@ -346,10 +346,10 @@ func Reciprocity() Stage {
 		if !st.unionDone {
 			return errors.New("requires the heuristic union (run " + StageUnion + " first)")
 		}
-		if st.ValueCands1 == nil || st.ValueCands2 == nil {
+		if !st.haveValueCands() {
 			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
 		}
-		if st.NeighborCands1 == nil || st.NeighborCands2 == nil {
+		if !st.haveNeighborCands() {
 			return errors.New("requires neighbor candidates (run " + StageNeighborCandidates + " first)")
 		}
 		kept := st.Matches[:0]

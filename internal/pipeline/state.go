@@ -85,6 +85,11 @@ type State struct {
 	// unionDone marks that StageUnion ran, distinguishing "no matches"
 	// from "union never computed" for Reciprocity's precondition.
 	unionDone bool
+
+	// delta, when non-nil, marks a prepared-side run (NewDeltaState):
+	// side-1 candidate arrays stay unmaterialized and are derived lazily
+	// per touched entity instead.
+	delta *deltaSide
 }
 
 // NewState prepares the blackboard for one run over a KB pair.

@@ -510,6 +510,20 @@ func GenerateBenchmark(name string, seed int64, scale float64) (*Benchmark, erro
 	}, nil
 }
 
+// DeltaKB assembles a standalone KB from the subset of the benchmark's
+// second-KB triples whose subject is one of the given entity URIs — a
+// realistic delta for Index.QueryKB: the selected descriptions exactly
+// as KB2 states them, re-derived in isolation (their own statistics,
+// with links to unselected entities degrading to dangling values, as
+// they would in a genuinely new description batch).
+func (b *Benchmark) DeltaKB(name string, uris ...string) (*KB, error) {
+	built, _, err := kb.FromTriplesSubset(name, b.ds.Triples2, uris)
+	if err != nil {
+		return nil, err
+	}
+	return &KB{kb: built}, nil
+}
+
 // WriteKB1 serializes the first KB as N-Triples.
 func (b *Benchmark) WriteKB1(w io.Writer) error { return rdf.WriteAll(w, b.ds.Triples1) }
 

@@ -27,8 +27,11 @@ type server struct {
 }
 
 // NewServer returns an http.Handler serving resolution queries over the
-// index.
+// index. It prepares the index's delta substrate (see Index.Prepare) if
+// the loaded snapshot did not already carry it, so /delta resolves in
+// O(|delta|) from the first request.
 func NewServer(ix *Index) http.Handler {
+	ix.Prepare()
 	s := &server{ix: ix, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -148,12 +151,20 @@ func (s *server) handleResolveGet(w http.ResponseWriter, r *http.Request) {
 	s.resolve(w, r.URL.Query()["uri"])
 }
 
+// maxResolveBytes bounds one POST /resolve body.
+const maxResolveBytes = 16 << 20
+
 func (s *server) handleResolvePost(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		URIs []string `json:"uris"`
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResolveBytes))
 	if err := dec.Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxResolveBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}

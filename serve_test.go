@@ -192,6 +192,52 @@ func TestServeDelta(t *testing.T) {
 	}
 }
 
+// repeatReader yields a repeating byte pattern forever — an oversized
+// body without materializing it.
+type repeatReader struct{ pattern []byte }
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.pattern[i%len(r.pattern)]
+	}
+	return len(p), nil
+}
+
+// TestServePayloadLimits: oversized POST bodies on /resolve and /delta
+// are rejected with 413 and a JSON error, not an opaque parse failure.
+func TestServePayloadLimits(t *testing.T) {
+	_, _, srv := newTestServer(t)
+
+	check := func(path string, body io.Reader) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/octet-stream", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status %d, want 413", path, resp.StatusCode)
+		}
+		var msg struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+			t.Fatalf("%s 413 response is not JSON: %v", path, err)
+		}
+		if msg.Error == "" {
+			t.Errorf("%s 413 response carries no error message", path)
+		}
+	}
+
+	// /resolve caps at 16 MiB (a syntactically valid prefix with one
+	// endless string keeps the decoder reading until the cap trips),
+	// /delta at 64 MiB (lenient mode keeps the parser reading junk).
+	check("/resolve", io.MultiReader(
+		strings.NewReader(`{"uris": ["`),
+		io.LimitReader(repeatReader{[]byte("a")}, 16<<20+1024)))
+	check("/delta?lenient=1", io.LimitReader(repeatReader{[]byte("junk \n")}, 64<<20+1024))
+}
+
 // TestServeConcurrentQueriesMatchSequential is the serve acceptance
 // property: N goroutines hammering one shared Index produce responses
 // identical to a sequential pass — under -race, this also proves the

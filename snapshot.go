@@ -9,6 +9,7 @@ import (
 	"minoaner/internal/blocking"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
+	"minoaner/internal/pipeline"
 )
 
 // Index snapshot format. A snapshot persists everything BuildIndex
@@ -26,12 +27,22 @@ import (
 //	section 5 (token-blocks): B_T after purging, embedded collection binary
 //	section 6 (stats):        purge result and block accounting
 //	section 7 (matches):      H1, H2, H3, final matches, H4 discard count
+//	section 8 (prepared):     frozen left-side substrate of the delta
+//	                          path (see Index.Prepare): the embedded
+//	                          one-sided token/name index
+//	                          (internal/blocking "MPS1") followed by the
+//	                          frozen per-entity neighbor lists. Written
+//	                          only when the substrate has been built.
 //
 // Compatibility promise: a reader accepts exactly the format versions
 // it names (currently 1), skips unknown section IDs within them, and
 // rejects everything else — including any payload whose checksum does
 // not match — with an error wrapping ErrSnapshotCorrupt. Saving a
-// loaded index reproduces the snapshot bit-for-bit.
+// loaded index reproduces the snapshot bit-for-bit. The prepared
+// section is optional in both directions: snapshots from before it
+// existed load fine (the substrate is rebuilt on demand by
+// Index.Prepare / QueryKBFast), and older readers skip the section
+// unharmed.
 
 var snapshotMagic = [4]byte{'M', 'S', 'N', 'P'}
 
@@ -46,6 +57,7 @@ const (
 	snapTokenBlocks = 5
 	snapStats       = 6
 	snapMatches     = 7
+	snapPrepared    = 8
 )
 
 // ErrSnapshotCorrupt is wrapped by every LoadIndex failure caused by
@@ -91,8 +103,83 @@ func SaveIndex(w io.Writer, ix *Index) error {
 		writePairs(e, ix.matches)
 		e.Int(ix.discardedByH4)
 	})
+	if prep := ix.preparedSide(); prep != nil {
+		bw.Section(snapPrepared, func(e *binio.Writer) {
+			e.Int(prep.Neighbors.N())
+			e.Embed(prep.Blocks.WriteBinary)
+			writeNeighborLists(e, prep.Neighbors.TopLists())
+		})
+	}
 	bw.End()
 	return bw.Flush()
+}
+
+// writeNeighborLists encodes the frozen per-entity neighbor lists.
+func writeNeighborLists(e *binio.Writer, top [][]kb.EntityID) {
+	e.Int(len(top))
+	for _, nbrs := range top {
+		e.Int(len(nbrs))
+		for _, id := range nbrs {
+			e.Uvarint(uint64(id))
+		}
+	}
+}
+
+// readPreparedSection restores the prepared substrate of a snapshot,
+// validating it against the already-loaded KB1 and config.
+func readPreparedSection(b *binio.Reader, ix *Index) error {
+	n := b.Int()
+	if err := b.Err(); err != nil {
+		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+	}
+	if n != ix.cfg.internal().Params().N {
+		return fmt.Errorf("%w: prepared substrate frozen for N=%d, config has N=%d",
+			ErrSnapshotCorrupt, n, ix.cfg.N)
+	}
+	bp, err := blocking.ReadPrepared(b.Embedded())
+	if err != nil {
+		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+	}
+	if bp.KBSize() != ix.kb1.Len() {
+		return fmt.Errorf("%w: prepared substrate covers %d entities, KB1 has %d",
+			ErrSnapshotCorrupt, bp.KBSize(), ix.kb1.Len())
+	}
+	if bp.NameK() != ix.cfg.NameAttributes {
+		return fmt.Errorf("%w: prepared substrate built with NameK=%d, config has %d",
+			ErrSnapshotCorrupt, bp.NameK(), ix.cfg.NameAttributes)
+	}
+	nEnt := b.Int()
+	if b.Err() == nil && nEnt != ix.kb1.Len() {
+		b.Fail("neighbor lists cover %d entities, KB1 has %d", nEnt, ix.kb1.Len())
+	}
+	top := make([][]kb.EntityID, 0, min(nEnt, 1<<20))
+	for e := 0; e < nEnt && b.Err() == nil; e++ {
+		cnt := b.Int()
+		if cnt > ix.kb1.Len() {
+			b.Fail("neighbor list larger than the KB (%d > %d)", cnt, ix.kb1.Len())
+			break
+		}
+		nbrs := make([]kb.EntityID, 0, cnt)
+		prev := int64(-1)
+		for j := 0; j < cnt && b.Err() == nil; j++ {
+			id := b.Uvarint()
+			if id >= uint64(ix.kb1.Len()) || int64(id) <= prev {
+				b.Fail("neighbor %d out of order or range [0,%d)", id, ix.kb1.Len())
+				break
+			}
+			prev = int64(id)
+			nbrs = append(nbrs, kb.EntityID(id))
+		}
+		top = append(top, nbrs)
+	}
+	if err := b.Err(); err != nil {
+		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+	}
+	ix.setPreparedSide(&pipeline.Prepared{
+		Blocks:    bp,
+		Neighbors: kb.FrozenFromLists(ix.kb1.kb, n, top),
+	})
+	return nil
 }
 
 // LoadIndex reads an index snapshot written by SaveIndex, verifying
@@ -191,6 +278,14 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	ix.discardedByH4 = b.Int()
 	if err := b.Err(); err != nil {
 		return nil, fmt.Errorf("%w: matches: %v", ErrSnapshotCorrupt, err)
+	}
+
+	// The prepared section is optional: pre-substrate snapshots load
+	// without it and prepare on demand.
+	if pb, ok := bodies[snapPrepared]; ok {
+		if err := readPreparedSection(pb, ix); err != nil {
+			return nil, err
+		}
 	}
 
 	ix.buildLookup()
