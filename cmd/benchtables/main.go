@@ -13,6 +13,8 @@
 //	                              # index build/save/load cost + per-query latency
 //	benchtables -delta-json BENCH_delta.json -delta-workers 1,2,4,8
 //	                              # prepared-side vs full-plan delta resolution latency
+//	benchtables -update-json BENCH_update.json -update-workers 1,2,4,8
+//	                              # epoch-update (live mutation) vs full-rebuild latency
 //
 // Absolute numbers differ from the paper (the substrates are synthetic
 // stand-ins; see DESIGN.md §2); the comparative shapes are the
@@ -485,6 +487,299 @@ func writeDeltaBench(path string, datasets []*datagen.Dataset, seed int64, scale
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// updateCaseJSON is one measured mutation: an entity-level change
+// absorbed through the epoch-update path and, as the baseline, through
+// a from-scratch rebuild (KB assembly plus the full plan), with the
+// built-in guarantee that both produced the same matches.
+type updateCaseJSON struct {
+	Op          string  `json:"op"` // "modify", "insert", or "delete"
+	Subjects    int     `json:"subjects"`
+	Triples     int     `json:"triples"` // delta triples (0 for deletes)
+	Matches     int     `json:"matches"`
+	UpdateNano  int64   `json:"update_ns"`
+	RebuildNano int64   `json:"rebuild_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// updateDatasetJSON profiles the mutation path of one benchmark.
+type updateDatasetJSON struct {
+	Name      string `json:"name"`
+	Entities1 int    `json:"entities1"`
+	Entities2 int    `json:"entities2"`
+	// PrimeNano is the one-time cost of the mutable substrate (paid
+	// before the first mutation).
+	PrimeNano int64 `json:"prime_ns"`
+	// Cases are the measured mutations, applied as one chained
+	// sequence (each starts from the previous epoch). "modify" edits
+	// one literal of an existing description (the common touch-up);
+	// "rewrite" swaps a literal for another entity's value, changing
+	// the entity's shared-token profile wholesale; "insert" and
+	// "delete" add and remove entities.
+	Cases []updateCaseJSON `json:"cases"`
+	// MinUpsertSpeedup is the smallest rebuild/update ratio across the
+	// single-entity "modify" upserts — the headline number.
+	// MinRewriteSpeedup is the same across the heavier "rewrite"
+	// upserts, whose cost is bounded by the genuinely affected
+	// neighborhood rather than the touched entity.
+	MinUpsertSpeedup  float64 `json:"min_upsert_speedup"`
+	MinRewriteSpeedup float64 `json:"min_rewrite_speedup"`
+	// EquivalenceWorkers lists the worker counts at which the update
+	// path was verified bit-identical to the full plan on every case.
+	EquivalenceWorkers []int `json:"equivalence_workers"`
+}
+
+// updateBenchJSON is the BENCH_update.json document: per-mutation
+// epoch-update latency vs full rebuild over every synthetic benchmark,
+// with a built-in rebuild-equivalence guard across worker counts.
+type updateBenchJSON struct {
+	Seed     int64               `json:"seed"`
+	Scale    float64             `json:"scale"`
+	MaxProcs int                 `json:"maxprocs"`
+	Datasets []updateDatasetJSON `json:"datasets"`
+}
+
+func writeUpdateBench(path string, datasets []*datagen.Dataset, seed int64, scale float64, workerCounts []int) error {
+	ctx := context.Background()
+	doc := updateBenchJSON{Seed: seed, Scale: scale, MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, ds := range datasets {
+		cfg := core.DefaultConfig()
+		entry := updateDatasetJSON{
+			Name:               ds.Name,
+			Entities1:          ds.KB1.Len(),
+			Entities2:          ds.KB2.Len(),
+			EquivalenceWorkers: workerCounts,
+		}
+
+		// Resolve the pair once and prime the mutable substrate.
+		st := pipeline.NewState(ds.KB1, ds.KB2, cfg.Params())
+		eng := pipeline.Engine{Plan: core.PlanFor(cfg)}
+		if _, err := eng.Run(ctx, st); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		cache, err := pipeline.NewCache(ctx, st, st.NameBlocks, st.PurgeStats)
+		if err != nil {
+			return err
+		}
+		entry.PrimeNano = time.Since(t0).Nanoseconds()
+
+		store, err := kb.NewStore(ds.KB2)
+		if err != nil {
+			return err
+		}
+		cur := ds.KB2
+		refTriples := append([]rdf.Triple(nil), ds.Triples2...)
+
+		measure := func(op string, delta []rdf.Triple, deletes []string) error {
+			var deltaKB *kb.KB
+			if len(delta) > 0 {
+				deltaKB, err = kb.FromTriples("delta", delta)
+				if err != nil {
+					return err
+				}
+			}
+
+			// The epoch-update path: apply at triple level, assemble the
+			// KB epoch, absorb it into the match state. Single-shot
+			// numbers at these latencies are GC-noisy, so the whole
+			// mutation is timed as the median of a few runs, reverted
+			// between repetitions (the last one commits).
+			var next *kb.KB
+			var upd *core.Result
+			var nextCache *pipeline.Cache
+			var times []int64
+			const reps = 5
+			runtime.GC() // keep earlier cases' garbage out of this measurement
+			for rep := 0; rep < reps; rep++ {
+				t0 := time.Now()
+				changed, revert, err := store.Apply(deltaKB, deletes)
+				if err != nil {
+					return err
+				}
+				if !changed {
+					return fmt.Errorf("%s: %s mutation was a no-op", ds.Name, op)
+				}
+				next = store.Assemble(cur)
+				upd, nextCache, err = core.RunUpdate(ctx, cache, ds.KB1, cur, ds.KB1, next, cfg, nil, false)
+				if err != nil {
+					return err
+				}
+				times = append(times, time.Since(t0).Nanoseconds())
+				if rep < reps-1 {
+					revert()
+				}
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			updateNano := times[len(times)/2]
+
+			// The baseline: what a build-once system pays for the same
+			// change — reassemble KB2 from the mutated triples and rerun
+			// the full plan.
+			refTriples = applyRefMutation(refTriples, delta, deletes)
+			runtime.GC()
+			var full *core.Result
+			rebuildNano, err := medianNano(func() error {
+				rebuilt, err := kb.FromTriples(ds.KB2.Name(), refTriples)
+				if err != nil {
+					return err
+				}
+				m, err := core.NewMatcher(ds.KB1, rebuilt, cfg)
+				if err != nil {
+					return err
+				}
+				full, err = m.RunContext(ctx)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+
+			// Rebuild-equivalence guard, here and across the worker
+			// sweep.
+			if !samePairs(upd.Matches, full.Matches) {
+				return fmt.Errorf("%s: %s mutation diverges from the full rebuild", ds.Name, op)
+			}
+			for _, w := range workerCounts {
+				cfgW := cfg
+				cfgW.Workers = w
+				updW, _, err := core.RunUpdate(ctx, cache, ds.KB1, cur, ds.KB1, next, cfgW, nil, false)
+				if err != nil {
+					return err
+				}
+				if !samePairs(updW.Matches, full.Matches) {
+					return fmt.Errorf("%s: %s mutation diverges at workers=%d", ds.Name, op, w)
+				}
+			}
+
+			c := updateCaseJSON{
+				Op:          op,
+				Subjects:    len(deletes),
+				Matches:     len(upd.Matches),
+				UpdateNano:  updateNano,
+				RebuildNano: rebuildNano,
+			}
+			if deltaKB != nil {
+				c.Subjects = deltaKB.Len()
+				c.Triples = deltaKB.NumTriples()
+			}
+			if updateNano > 0 {
+				c.Speedup = float64(rebuildNano) / float64(updateNano)
+			}
+			entry.Cases = append(entry.Cases, c)
+			if op == "modify" && (entry.MinUpsertSpeedup == 0 || c.Speedup < entry.MinUpsertSpeedup) {
+				entry.MinUpsertSpeedup = c.Speedup
+			}
+			if op == "rewrite" && (entry.MinRewriteSpeedup == 0 || c.Speedup < entry.MinRewriteSpeedup) {
+				entry.MinRewriteSpeedup = c.Speedup
+			}
+			cur, cache = next, nextCache
+			return nil
+		}
+
+		n2 := cur.Len()
+		subjectTriples := func(uri string) []rdf.Triple {
+			var out []rdf.Triple
+			for _, tr := range refTriples {
+				if kb.SubjectKey(tr.Subject) == uri {
+					out = append(out, tr)
+				}
+			}
+			return out
+		}
+		// Three single-entity modifications spread over KB2 — the
+		// common touch-up: one literal of the description gains a
+		// word, everything else stays.
+		for i, e := range []int{0, n2 / 2, n2 - 1} {
+			uri := cur.URI(kb.EntityID(e))
+			delta := subjectTriples(uri)
+			for j, tr := range delta {
+				if tr.Object.IsLiteral() {
+					delta[j].Object = rdf.NewLiteral(tr.Object.Value + fmt.Sprintf(" corrected%d", i))
+					break
+				}
+			}
+			if err := measure("modify", delta, nil); err != nil {
+				return err
+			}
+		}
+		// Two single-entity rewrites: a literal swapped for another
+		// entity's value, changing the entity's shared-token profile —
+		// the expensive end of the upsert spectrum.
+		for _, e := range []int{n2 / 3, 2 * n2 / 3} {
+			uri := cur.URI(kb.EntityID(e))
+			donor := subjectTriples(cur.URI(kb.EntityID((e + n2/2) % n2)))
+			delta := subjectTriples(uri)
+			for j, tr := range delta {
+				if !tr.Object.IsLiteral() {
+					continue
+				}
+				for _, dt := range donor {
+					if dt.Object.IsLiteral() {
+						delta[j].Object = dt.Object
+						break
+					}
+				}
+				break
+			}
+			if err := measure("rewrite", delta, nil); err != nil {
+				return err
+			}
+		}
+		// One brand-new entity and one deletion.
+		newSubj := rdf.NewIRI("http://bench/new-entity")
+		if err := measure("insert", []rdf.Triple{
+			rdf.NewTriple(newSubj, rdf.NewIRI("http://bench/name"), rdf.NewLiteral("benchmark insert entity")),
+			rdf.NewTriple(newSubj, rdf.NewIRI("http://bench/link"), rdf.NewIRI(cur.URI(kb.EntityID(n2/3)))),
+		}, nil); err != nil {
+			return err
+		}
+		if err := measure("delete", nil, []string{cur.URI(kb.EntityID(n2 / 4))}); err != nil {
+			return err
+		}
+
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// medianNano runs fn updateBenchReps times and returns the median
+// wall-clock time.
+func medianNano(fn func() error) (int64, error) {
+	const reps = 3
+	times := make([]int64, 0, reps)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(t0).Nanoseconds())
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// applyRefMutation mirrors Store.Apply on a reference triple list.
+func applyRefMutation(ts, delta []rdf.Triple, deletes []string) []rdf.Triple {
+	drop := make(map[string]bool)
+	for _, tr := range delta {
+		drop[kb.SubjectKey(tr.Subject)] = true
+	}
+	for _, u := range deletes {
+		drop[u] = true
+	}
+	out := ts[:0:0]
+	for _, tr := range ts {
+		if !drop[kb.SubjectKey(tr.Subject)] {
+			out = append(out, tr)
+		}
+	}
+	return append(out, delta...)
+}
+
 // samePairs compares match slices treating nil and empty as equal.
 func samePairs(a, b []eval.Pair) bool {
 	if len(a) != len(b) {
@@ -531,6 +826,8 @@ func main() {
 		queryPath     = flag.String("query-json", "", "write the query-path profile (index build, snapshot save/load, per-query latency over every KB2 entity) to this JSON file (e.g. BENCH_query.json) instead of the paper tables")
 		deltaPath     = flag.String("delta-json", "", "write the delta-resolution profile (prepared substrate vs full plan, single entities and batches, with a bit-identity guard) to this JSON file (e.g. BENCH_delta.json) instead of the paper tables")
 		deltaWorkers  = flag.String("delta-workers", "1,2,4,8", "comma-separated worker counts at which -delta-json verifies prepared/full bit-identity")
+		updatePath    = flag.String("update-json", "", "write the mutation profile (per-upsert/delete epoch-update latency vs full rebuild, with a rebuild-equivalence guard) to this JSON file (e.g. BENCH_update.json) instead of the paper tables")
+		updateWorkers = flag.String("update-workers", "1,2,4,8", "comma-separated worker counts at which -update-json verifies update/rebuild bit-identity")
 	)
 	flag.Parse()
 
@@ -578,6 +875,21 @@ func main() {
 		if *timing {
 			fmt.Fprintf(os.Stderr, "delta bench in %v (written to %s)\n",
 				time.Since(t0).Round(time.Millisecond), *deltaPath)
+		}
+		return
+	}
+	if *updatePath != "" {
+		counts, err := parseWorkerCounts(*updateWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := writeUpdateBench(*updatePath, datasets, *seed, *scale, counts); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "update bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *updatePath)
 		}
 		return
 	}

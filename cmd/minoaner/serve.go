@@ -23,6 +23,7 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("minoaner serve", flag.ExitOnError)
 	mc := declareMatchFlags(fs)
 	indexPath := fs.String("index", "", "snapshot file to serve (from 'minoaner snapshot'); overrides -kb1/-kb2")
+	mutable := fs.Bool("mutable", false, "enable POST /upsert and /delete: live entity mutations with atomic epoch swaps (requires an index with retained sources)")
 	addr := fs.String("addr", ":8080", "listen address")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "maximum duration for reading one request (body included)")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "maximum duration for writing one response")
@@ -53,13 +54,21 @@ func runServe(args []string) {
 		fmt.Fprintf(os.Stderr, "delta substrate prepared in %v (persist it with 'minoaner snapshot')\n",
 			time.Since(t0).Round(time.Millisecond))
 	}
+	var serverOpts []minoaner.ServerOption
+	if *mutable {
+		if !ix.Mutable() {
+			log.Fatal("-mutable: this index is read-only (its KBs lack retained source triples); rebuild the snapshot from .nt inputs")
+		}
+		serverOpts = append(serverOpts, minoaner.WithMutations())
+	}
 	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities\n",
-		st.Matches, st.KB1.Entities, st.KB2.Entities)
+	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities (epoch %d%s)\n",
+		st.Matches, st.KB1.Entities, st.KB2.Entities, st.Epoch,
+		map[bool]string{true: ", mutable", false: ""}[*mutable])
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           minoaner.NewServer(ix),
+		Handler:           minoaner.NewServer(ix, serverOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

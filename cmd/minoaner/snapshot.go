@@ -21,10 +21,15 @@ func runSnapshot(args []string) {
 	out := fs.String("o", "index.msnp", "output snapshot file")
 	prepare := fs.Bool("prepare", true, "freeze the delta substrate into the snapshot so 'serve' answers /delta in O(|delta|) without re-deriving it")
 	inspect := fs.String("inspect", "", "describe an existing snapshot instead of building one")
+	compact := fs.String("compact", "", "load an existing snapshot, drop its mutation journal and flatten its substrate, and rewrite it (to -o)")
 	fs.Parse(args)
 
 	if *inspect != "" {
 		inspectSnapshot(*inspect)
+		return
+	}
+	if *compact != "" {
+		compactSnapshot(*compact, *out)
 		return
 	}
 
@@ -60,6 +65,27 @@ func runSnapshot(args []string) {
 	fmt.Fprintf(os.Stderr, "snapshot: %s (%.1f MB)\n", *out, float64(info.Size())/(1<<20))
 }
 
+// compactSnapshot rewrites a snapshot with its journal dropped (the
+// epoch number survives) and its blocking substrate flattened.
+func compactSnapshot(in, out string) {
+	start := time.Now()
+	ix, err := minoaner.LoadIndexFile(in)
+	if err != nil {
+		log.Fatalf("loading %s: %v", in, err)
+	}
+	entries := len(ix.Journal())
+	ix.Compact()
+	if err := minoaner.SaveIndexFile(out, ix); err != nil {
+		log.Fatalf("writing %s: %v", out, err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compacted %s -> %s in %v: epoch %d kept, %d journal entries dropped (%.1f MB)\n",
+		in, out, time.Since(start).Round(time.Millisecond), ix.Epoch(), entries, float64(info.Size())/(1<<20))
+}
+
 // inspectSnapshot loads a snapshot and prints its contents.
 func inspectSnapshot(path string) {
 	start := time.Now()
@@ -81,5 +107,11 @@ func inspectSnapshot(path string) {
 		fmt.Printf("  delta substrate: prepared (O(|delta|) /delta queries)\n")
 	} else {
 		fmt.Printf("  delta substrate: absent (built on demand; re-snapshot with -prepare to persist it)\n")
+	}
+	if ix.Mutable() {
+		fmt.Printf("  mutability: sources retained — epoch %d, %d journal entries (serve -mutable accepts /upsert and /delete)\n",
+			ix.Epoch(), st.JournalLength)
+	} else {
+		fmt.Printf("  mutability: read-only (no retained sources; rebuild the snapshot from .nt inputs to mutate it)\n")
 	}
 }

@@ -2,9 +2,11 @@ package minoaner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/core"
@@ -13,18 +15,48 @@ import (
 	"minoaner/internal/pipeline"
 )
 
-// Index is a fully resolved, immutable snapshot of a KB pair: the built
+// Index is a fully resolved, queryable view of a KB pair: the built
 // KBs, their block collections, and the complete match set
 // M = (H1 ∨ H2 ∨ H3) ∧ H4, organized for query-time access. MinoanER's
 // matching needs no iteration, so everything a resolution query needs
-// is static — an Index is built (or loaded) once and then answers
-// "who matches entity X?" in constant time, safely from any number of
-// goroutines.
+// is static within one epoch — an Index is built (or loaded) once and
+// answers "who matches entity X?" in constant time, safely from any
+// number of goroutines.
+//
+// An Index is mutable at entity granularity: Upsert and Delete absorb
+// changed descriptions under an epoch scheme — readers keep serving
+// the current epoch lock-free while the next one is assembled from the
+// previous epoch's scoring substrate, then an atomic swap publishes
+// it. After any sequence of mutations, Matches/Query/QueryKB are
+// bit-identical to a from-scratch BuildIndex over the mutated KBs;
+// only the cost differs (the touched neighborhoods, not the whole
+// pair). Mutability requires the KBs to retain their source triples
+// (the default for every KB this package builds; snapshots persist
+// them).
 //
 // Build one with BuildIndex, persist it with SaveIndex, and reload it
-// with LoadIndex; the snapshot round-trips bit-identically, so a served
-// index is byte-for-byte the index that was built.
+// with LoadIndex; the snapshot round-trips bit-identically, so a
+// served index is byte-for-byte the index that was built.
 type Index struct {
+	// cur is the published epoch; readers Load it once per operation
+	// and never block on writers.
+	cur atomic.Pointer[epoch]
+
+	// mu serializes the write side: mutations, substrate priming,
+	// lazy Prepare, Compact, and snapshot writes (which need an
+	// epoch/journal pair that belongs together).
+	mu         sync.Mutex
+	mut        *mutator
+	journal    []JournalEntry
+	journalLen atomic.Int64
+}
+
+// epoch is one immutable resolution state. Every field is final once
+// the epoch is published; state that changes later (a lazily built
+// prepared substrate, a compacted journal) is installed by cloning the
+// epoch and swapping the clone in.
+type epoch struct {
+	seq      uint64
 	kb1, kb2 *KB
 	cfg      Config
 
@@ -42,10 +74,34 @@ type Index struct {
 	by1, by2 map[kb.EntityID][]int32 // entity -> positions in matches
 
 	// prep is the frozen left-side substrate of the prepared delta
-	// path: nil until Prepare builds it (or LoadIndex restores it from
-	// a snapshot), immutable afterwards.
-	prepMu sync.Mutex
-	prep   *pipeline.Prepared
+	// path: nil until Prepare builds it (or LoadIndex restores it, or
+	// a mutation derives it from the epoch cache).
+	prep *pipeline.Prepared
+
+	// cache is the scoring substrate mutations start from; nil until
+	// the first mutation primes it (built and loaded epochs alike pay
+	// that one-time candidate recompute there, so read-only indexes
+	// never pin the intermediate build artifacts). Mutated epochs
+	// always carry one.
+	cache *pipeline.Cache
+}
+
+// mutator owns the write-side triple stores of a mutable index.
+type mutator struct {
+	store1, store2 *kb.Store
+}
+
+// ErrNotMutable is returned by Upsert/Delete when the index's KBs do
+// not retain their source triples — a snapshot from before source
+// retention, or KBs built with retention disabled. Rebuild the index
+// (or its snapshot) from sources to mutate it.
+var ErrNotMutable = errors.New("minoaner: index is not mutable (its KBs lack retained source triples; rebuild from sources)")
+
+// clone copies the epoch for a derived publish (same resolution state,
+// new auxiliary fields).
+func (e *epoch) clone() *epoch {
+	c := *e
+	return &c
 }
 
 // BuildIndex resolves the KB pair once and assembles the queryable
@@ -76,7 +132,7 @@ func BuildIndexContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Re
 	if _, err := eng.Run(ctx, st); err != nil {
 		return nil, err
 	}
-	ix := &Index{
+	ep := &epoch{
 		kb1:              kb1,
 		kb2:              kb2,
 		cfg:              cfg,
@@ -93,35 +149,49 @@ func BuildIndexContext(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...Re
 		matches:          st.Matches,
 		discardedByH4:    st.DiscardedByH4,
 	}
-	ix.buildLookup()
+	ep.buildLookup()
+	ix := &Index{}
+	ix.cur.Store(ep)
 	return ix, nil
 }
 
 // buildLookup derives the per-entity match positions from the match
 // list.
-func (ix *Index) buildLookup() {
-	ix.by1 = make(map[kb.EntityID][]int32, len(ix.matches))
-	ix.by2 = make(map[kb.EntityID][]int32, len(ix.matches))
-	for i, p := range ix.matches {
-		ix.by1[p.E1] = append(ix.by1[p.E1], int32(i))
-		ix.by2[p.E2] = append(ix.by2[p.E2], int32(i))
+func (e *epoch) buildLookup() {
+	e.by1 = make(map[kb.EntityID][]int32, len(e.matches))
+	e.by2 = make(map[kb.EntityID][]int32, len(e.matches))
+	for i, p := range e.matches {
+		e.by1[p.E1] = append(e.by1[p.E1], int32(i))
+		e.by2[p.E2] = append(e.by2[p.E2], int32(i))
 	}
 }
 
-// KB1 returns the first indexed KB.
-func (ix *Index) KB1() *KB { return ix.kb1 }
+// KB1 returns the first indexed KB (of the current epoch).
+func (ix *Index) KB1() *KB { return ix.cur.Load().kb1 }
 
-// KB2 returns the second indexed KB.
-func (ix *Index) KB2() *KB { return ix.kb2 }
+// KB2 returns the second indexed KB (of the current epoch).
+func (ix *Index) KB2() *KB { return ix.cur.Load().kb2 }
 
 // Config returns the configuration the index was built under.
-func (ix *Index) Config() Config { return ix.cfg }
+func (ix *Index) Config() Config { return ix.cur.Load().cfg }
+
+// Epoch returns the index's epoch number: 0 for a fresh build, +1 per
+// absorbed mutation, persisted through snapshots.
+func (ix *Index) Epoch() uint64 { return ix.cur.Load().seq }
+
+// Mutable reports whether the index accepts Upsert/Delete: both KBs
+// must retain their source triples.
+func (ix *Index) Mutable() bool {
+	e := ix.cur.Load()
+	return e.kb1.kb.HasSources() && e.kb2.kb.HasSources()
+}
 
 // Matches returns the full match set as URI pairs, in canonical order.
 func (ix *Index) Matches() []Match {
-	out := make([]Match, len(ix.matches))
-	for i, p := range ix.matches {
-		out[i] = Match{URI1: ix.kb1.kb.URI(p.E1), URI2: ix.kb2.kb.URI(p.E2)}
+	e := ix.cur.Load()
+	out := make([]Match, len(e.matches))
+	for i, p := range e.matches {
+		out[i] = Match{URI1: e.kb1.kb.URI(p.E1), URI2: e.kb2.kb.URI(p.E2)}
 	}
 	return out
 }
@@ -130,6 +200,8 @@ func (ix *Index) Matches() []Match {
 // the serve endpoint).
 type IndexStats struct {
 	KB1, KB2                          KBStats
+	Epoch                             uint64
+	JournalLength                     int
 	Matches                           int
 	ByName, ByValue, ByRank           int
 	DiscardedByReciprocity            int
@@ -140,19 +212,27 @@ type IndexStats struct {
 
 // Stats reports the index's summary statistics.
 func (ix *Index) Stats() IndexStats {
+	return ix.statsOf(ix.cur.Load())
+}
+
+// statsOf derives the statistics of one epoch (serve handlers pass
+// the epoch they answer from, so a response never mixes two).
+func (ix *Index) statsOf(e *epoch) IndexStats {
 	return IndexStats{
-		KB1:                    ix.kb1.Stats(),
-		KB2:                    ix.kb2.Stats(),
-		Matches:                len(ix.matches),
-		ByName:                 len(ix.h1),
-		ByValue:                len(ix.h2),
-		ByRank:                 len(ix.h3),
-		DiscardedByReciprocity: ix.discardedByH4,
-		NameBlocks:             ix.nameBlockCount,
-		TokenBlocks:            ix.tokenBlockCount,
-		NameComparisons:        ix.nameComparisons,
-		TokenComparisons:       ix.tokenComparisons,
-		PurgedBlocks:           ix.purge.RemovedBlocks,
+		KB1:                    e.kb1.Stats(),
+		KB2:                    e.kb2.Stats(),
+		Epoch:                  e.seq,
+		JournalLength:          int(ix.journalLen.Load()),
+		Matches:                len(e.matches),
+		ByName:                 len(e.h1),
+		ByValue:                len(e.h2),
+		ByRank:                 len(e.h3),
+		DiscardedByReciprocity: e.discardedByH4,
+		NameBlocks:             e.nameBlockCount,
+		TokenBlocks:            e.tokenBlockCount,
+		NameComparisons:        e.nameComparisons,
+		TokenComparisons:       e.tokenComparisons,
+		PurgedBlocks:           e.purge.RemovedBlocks,
 	}
 }
 
@@ -172,23 +252,27 @@ type QueryResult struct {
 
 // Query resolves entity URIs against the index. Each URI is looked up
 // in both KBs; unknown URIs yield a result with In1 == In2 == false and
-// no matches. Query is read-only and safe for concurrent use.
+// no matches. Query is read-only, lock-free, and safe for concurrent
+// use — including concurrently with mutations, which it observes as an
+// atomic epoch switch (one Query call always answers from a single
+// epoch).
 func (ix *Index) Query(entityURIs ...string) []QueryResult {
+	e := ix.cur.Load()
 	out := make([]QueryResult, len(entityURIs))
 	for i, uri := range entityURIs {
 		res := QueryResult{URI: uri}
 		var positions []int32
-		if e1, ok := ix.kb1.kb.Lookup(uri); ok {
+		if e1, ok := e.kb1.kb.Lookup(uri); ok {
 			res.In1 = true
-			positions = append(positions, ix.by1[e1]...)
+			positions = append(positions, e.by1[e1]...)
 		}
-		if e2, ok := ix.kb2.kb.Lookup(uri); ok {
+		if e2, ok := e.kb2.kb.Lookup(uri); ok {
 			res.In2 = true
-			positions = appendNewPositions(positions, ix.by2[e2])
+			positions = appendNewPositions(positions, e.by2[e2])
 		}
 		for _, pos := range positions {
-			p := ix.matches[pos]
-			res.Matches = append(res.Matches, Match{URI1: ix.kb1.kb.URI(p.E1), URI2: ix.kb2.kb.URI(p.E2)})
+			p := e.matches[pos]
+			res.Matches = append(res.Matches, Match{URI1: e.kb1.kb.URI(p.E1), URI2: e.kb2.kb.URI(p.E2)})
 		}
 		out[i] = res
 	}
@@ -220,30 +304,42 @@ func appendNewPositions(a, b []int32) []int32 {
 // with only the delta's keys — O(|delta|) work instead of re-blocking
 // the whole pair — while producing bit-identical matches. Prepare is
 // idempotent and safe to call concurrently with queries; the substrate
-// is persisted by SaveIndex once built.
+// is persisted by SaveIndex once built, and mutations keep it patched
+// rather than rebuilding it.
 func (ix *Index) Prepare() {
-	ix.prepMu.Lock()
-	defer ix.prepMu.Unlock()
-	if ix.prep == nil {
-		ix.prep = pipeline.PrepareSide(ix.kb1.kb, ix.cfg.internal().Params())
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e := ix.cur.Load()
+	if e.prep != nil {
+		return
+	}
+	ne := e.clone()
+	if e.cache != nil {
+		ne.prep = prepFromCache(e.kb1.kb, e.cfg, e.cache)
+	} else {
+		ne.prep = pipeline.PrepareSide(e.kb1.kb, e.cfg.internal().Params())
+	}
+	ix.cur.Store(ne)
+}
+
+// prepFromCache derives the delta-path substrate from an epoch's
+// scoring cache (sharing the patched one-sided index).
+func prepFromCache(kb1 *kb.KB, cfg Config, cache *pipeline.Cache) *pipeline.Prepared {
+	return &pipeline.Prepared{
+		Blocks:    cache.Prep1,
+		Neighbors: kb.FrozenFromLists(kb1, cfg.internal().Params().N, cache.Top1),
 	}
 }
 
 // Prepared reports whether the prepared-side substrate is available
-// (built by Prepare or loaded from a snapshot that carried it).
-func (ix *Index) Prepared() bool { return ix.preparedSide() != nil }
+// (built by Prepare, loaded from a snapshot that carried it, or
+// derived by a mutation).
+func (ix *Index) Prepared() bool { return ix.cur.Load().prep != nil }
 
-func (ix *Index) preparedSide() *pipeline.Prepared {
-	ix.prepMu.Lock()
-	defer ix.prepMu.Unlock()
-	return ix.prep
-}
-
-// setPreparedSide installs a substrate restored from a snapshot.
+// setPreparedSide installs a substrate restored from a snapshot (load
+// time, before the index is shared).
 func (ix *Index) setPreparedSide(p *pipeline.Prepared) {
-	ix.prepMu.Lock()
-	ix.prep = p
-	ix.prepMu.Unlock()
+	ix.cur.Load().prep = p
 }
 
 // QueryKB resolves a delta KB — one entity or a small batch of new
@@ -252,18 +348,19 @@ func (ix *Index) setPreparedSide(p *pipeline.Prepared) {
 // KB1, the run probes the frozen structures with only the delta's
 // tokens and names, making the query O(|delta|); otherwise it
 // transparently falls back to the full plan, which re-blocks the whole
-// pair at O(|KB1|) per call. Both paths produce identical results. The
-// indexed KBs and the substrate are immutable, so concurrent QueryKB
-// calls are safe.
+// pair at O(|KB1|) per call. Both paths produce identical results. A
+// QueryKB call answers from one epoch; concurrent mutations never
+// tear it.
 //
 // Query, by contrast, is a constant-time lookup; route traffic about
 // already-indexed entities there and reserve QueryKB/QueryReader (and
 // the serve layer's /delta) for genuinely new descriptions.
 func (ix *Index) QueryKB(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
-	if prep := ix.preparedSide(); prep != nil && delta.Len() < ix.kb1.Len() {
-		return ix.queryPrepared(ctx, prep, delta, opts...)
+	e := ix.cur.Load()
+	if e.prep != nil && delta.Len() < e.kb1.Len() {
+		return e.queryPrepared(ctx, delta, opts...)
 	}
-	return ix.QueryKBFull(ctx, delta, opts...)
+	return e.queryFull(ctx, delta, opts...)
 }
 
 // QueryKBFast is QueryKB with the substrate guaranteed: it prepares on
@@ -279,20 +376,25 @@ func (ix *Index) QueryKBFast(ctx context.Context, delta *KB, opts ...ResolveOpti
 // against the prepared path; QueryKB is the right entry point for
 // serving.
 func (ix *Index) QueryKBFull(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
-	return ResolveContext(ctx, ix.kb1, delta, ix.cfg, opts...)
+	return ix.cur.Load().queryFull(ctx, delta, opts...)
 }
 
-// queryPrepared runs the delta plan against the frozen substrate.
-func (ix *Index) queryPrepared(ctx context.Context, prep *pipeline.Prepared, delta *KB, opts ...ResolveOption) (*Result, error) {
+func (e *epoch) queryFull(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+	return ResolveContext(ctx, e.kb1, delta, e.cfg, opts...)
+}
+
+// queryPrepared runs the delta plan against the epoch's frozen
+// substrate.
+func (e *epoch) queryPrepared(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
 	var o resolveOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	res, err := core.RunDelta(ctx, prep, delta.kb, ix.cfg.internal(), o.pipelineProgress(), o.progress != nil)
+	res, err := core.RunDelta(ctx, e.prep, delta.kb, e.cfg.internal(), o.pipelineProgress(), o.progress != nil)
 	if err != nil {
 		return nil, err
 	}
-	return newResult(res, ix.kb1.kb, delta.kb), nil
+	return newResult(res, e.kb1.kb, delta.kb), nil
 }
 
 // QueryReader parses a small N-Triples delta and resolves it against
@@ -317,6 +419,224 @@ func (ix *Index) QueryReader(ctx context.Context, src Source, opts ...ResolveOpt
 	}
 	res.SkippedLines2 = skipped
 	return res, nil
+}
+
+// Upsert absorbs a delta KB into the indexed pair: every entity of the
+// delta replaces (or adds) its description on the given side (1 or 2),
+// at triple granularity — links from other entities to replaced ones
+// reclassify exactly as a from-scratch rebuild would. The call blocks
+// until the new epoch is published; concurrent readers keep answering
+// from the previous epoch until then. After it returns,
+// Matches/Query/QueryKB are bit-identical to BuildIndex over the
+// mutated KBs. Upserting descriptions identical to the indexed ones is
+// a no-op (no epoch bump). The delta must retain sources (every KB
+// this package parses does).
+func (ix *Index) Upsert(ctx context.Context, side int, delta *KB) error {
+	if delta == nil || delta.Len() == 0 {
+		return errors.New("minoaner: Upsert requires a non-empty delta KB")
+	}
+	_, err := ix.applyMutation(ctx, side, delta, nil)
+	return err
+}
+
+// Delete removes entities (by subject URI) from the given side: all
+// their triples vanish, and links from surviving entities degrade to
+// dangling values exactly as a from-scratch rebuild would. Deleting
+// URIs the side does not contain is a no-op.
+func (ix *Index) Delete(ctx context.Context, side int, uris ...string) error {
+	if len(uris) == 0 {
+		return errors.New("minoaner: Delete requires at least one URI")
+	}
+	_, err := ix.applyMutation(ctx, side, nil, uris)
+	return err
+}
+
+// mutationOutcome reports what one applyMutation call published — the
+// serve handlers answer from it rather than re-reading shared state,
+// so a response never describes a concurrent caller's mutation.
+type mutationOutcome struct {
+	epoch   uint64
+	matches int
+	noop    bool
+}
+
+func (ix *Index) applyMutation(ctx context.Context, side int, delta *KB, uris []string) (mutationOutcome, error) {
+	if side != 1 && side != 2 {
+		return mutationOutcome{}, fmt.Errorf("minoaner: side must be 1 or 2, got %d", side)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	e := ix.cur.Load()
+	if err := ix.ensureMutator(ctx, e); err != nil {
+		return mutationOutcome{}, err
+	}
+	e = ix.cur.Load() // ensureMutator may have published a primed clone
+
+	store, oldSide := ix.mut.store1, e.kb1
+	if side == 2 {
+		store, oldSide = ix.mut.store2, e.kb2
+	}
+	var deltaKB *kb.KB
+	if delta != nil {
+		deltaKB = delta.kb
+	}
+	changed, revert, err := store.Apply(deltaKB, uris)
+	if err != nil {
+		return mutationOutcome{}, fmt.Errorf("minoaner: applying mutation: %w", err)
+	}
+	if !changed {
+		return mutationOutcome{epoch: e.seq, matches: len(e.matches), noop: true}, nil
+	}
+	newSide := &KB{kb: store.Assemble(oldSide.kb)}
+
+	old1, old2 := e.kb1, e.kb2
+	new1, new2 := old1, old2
+	if side == 1 {
+		new1 = newSide
+	} else {
+		new2 = newSide
+	}
+	res, nextCache, err := core.RunUpdate(ctx, e.cache, old1.kb, old2.kb, new1.kb, new2.kb, e.cfg.internal(), nil, false)
+	if err != nil {
+		revert()
+		return mutationOutcome{}, fmt.Errorf("minoaner: absorbing mutation: %w", err)
+	}
+
+	ne := &epoch{
+		seq:              e.seq + 1,
+		kb1:              new1,
+		kb2:              new2,
+		cfg:              e.cfg,
+		nameBlocks:       nextCache.NameBlocks,
+		tokenBlocks:      nextCache.TokenBlocks,
+		purge:            res.Purge,
+		nameBlockCount:   res.NameBlockCount,
+		tokenBlockCount:  res.TokenBlockCount,
+		nameComparisons:  res.NameComparisons,
+		tokenComparisons: res.TokenComparisons,
+		h1:               res.H1,
+		h2:               res.H2,
+		h3:               res.H3,
+		matches:          res.Matches,
+		discardedByH4:    res.DiscardedByH4,
+		cache:            nextCache,
+	}
+	ne.prep = prepFromCache(new1.kb, ne.cfg, nextCache)
+	ne.buildLookup()
+
+	entry := JournalEntry{Seq: ne.seq, Side: side, Op: JournalUpsert}
+	if delta != nil {
+		entry.Subjects = delta.URIs()
+		entry.Triples = delta.kb.NumTriples()
+	} else {
+		entry.Op = JournalDelete
+		entry.Subjects = append([]string(nil), uris...)
+	}
+	// Publish the epoch before the journal counter: a concurrent
+	// Stats may transiently see the journal lag the epoch, never lead
+	// it.
+	ix.journal = append(ix.journal, entry)
+	ix.cur.Store(ne)
+	ix.journalLen.Store(int64(len(ix.journal)))
+	return mutationOutcome{epoch: ne.seq, matches: len(ne.matches)}, nil
+}
+
+// ensureMutator lazily builds the write side: the triple stores and
+// the epoch's scoring substrate (recomputing candidate evidence when
+// the epoch was loaded rather than built). Called under mu.
+func (ix *Index) ensureMutator(ctx context.Context, e *epoch) error {
+	if !e.kb1.kb.HasSources() || !e.kb2.kb.HasSources() {
+		return ErrNotMutable
+	}
+	if ix.mut == nil {
+		s1, err := kb.NewStore(e.kb1.kb)
+		if err != nil {
+			return ErrNotMutable
+		}
+		s2, err := kb.NewStore(e.kb2.kb)
+		if err != nil {
+			return ErrNotMutable
+		}
+		workers := e.cfg.internal().Params().Workers
+		s1.SetWorkers(workers)
+		s2.SetWorkers(workers)
+		ix.mut = &mutator{store1: s1, store2: s2}
+	}
+	if e.cache == nil {
+		st := pipeline.NewState(e.kb1.kb, e.kb2.kb, e.cfg.internal().Params())
+		st.NameBlocks = e.nameBlocks
+		st.TokenBlocks = e.tokenBlocks
+		cache, err := pipeline.NewCache(ctx, st, e.nameBlocks, e.purge)
+		if err != nil {
+			return fmt.Errorf("minoaner: priming mutable substrate: %w", err)
+		}
+		cache.SetMatches(e.h1, e.h2, e.h3, e.matches, e.discardedByH4)
+		ne := e.clone()
+		ne.cache = cache
+		ix.cur.Store(ne)
+	}
+	return nil
+}
+
+// Compact trims the index's write-side bookkeeping: the mutation
+// journal is truncated (the epoch number survives), the triple stores
+// drop terms orphaned by deletions, and overlay chains in the blocking
+// substrate flatten. Reads are unaffected; call it after large
+// mutation bursts, before SaveIndex, or on a schedule.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.journal = nil
+	ix.journalLen.Store(0)
+	if ix.mut != nil {
+		ix.mut.store1.Compact()
+		ix.mut.store2.Compact()
+	}
+	e := ix.cur.Load()
+	if e.cache != nil {
+		ne := e.clone()
+		cache := *e.cache
+		cache.Prep1 = cache.Prep1.Flatten()
+		cache.Prep2 = cache.Prep2.Flatten()
+		ne.cache = &cache
+		if ne.prep != nil && ne.prep.Blocks != nil {
+			prep := *ne.prep
+			prep.Blocks = cache.Prep1
+			ne.prep = &prep
+		}
+		ix.cur.Store(ne)
+	}
+}
+
+// JournalEntry records one absorbed mutation. The journal is the
+// provenance of a mutated index: it persists in snapshots (section 9)
+// and is truncated by Compact.
+type JournalEntry struct {
+	// Seq is the epoch the mutation produced.
+	Seq uint64
+	// Op is JournalUpsert or JournalDelete.
+	Op byte
+	// Side is the mutated side (1 or 2).
+	Side int
+	// Subjects lists the upserted entity URIs / deleted URIs.
+	Subjects []string
+	// Triples counts the delta's triples (0 for deletes).
+	Triples int
+}
+
+// Journal operation codes.
+const (
+	JournalUpsert byte = 1
+	JournalDelete byte = 2
+)
+
+// Journal returns a copy of the mutation journal accumulated since the
+// last Compact (or snapshot load).
+func (ix *Index) Journal() []JournalEntry {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return append([]JournalEntry(nil), ix.journal...)
 }
 
 // SaveIndexFile writes the index snapshot to a file.

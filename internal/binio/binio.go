@@ -293,6 +293,22 @@ func (r *Reader) Embedded() io.Reader {
 	return r.in
 }
 
+// More reports whether unread bytes remain. It is precise for
+// in-memory readers — in particular the section bodies Sections()
+// returns, where it distinguishes "older payload that ends here" from
+// "payload with trailing fields" for backward-compatible section
+// extensions. On streaming readers it conservatively reports false.
+func (r *Reader) More() bool {
+	if r.err != nil {
+		return false
+	}
+	type lener interface{ Len() int }
+	if l, ok := r.in.(lener); ok {
+		return l.Len() > 0
+	}
+	return false
+}
+
 // Magic consumes a 4-byte magic number and fails unless it matches.
 func (r *Reader) Magic(want [4]byte) {
 	var got [4]byte

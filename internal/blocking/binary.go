@@ -160,6 +160,7 @@ var errCorruptPrepared = errors.New("blocking: corrupt prepared substrate")
 // ascending order, so the encoding is deterministic: the same substrate
 // always produces the same bytes.
 func (p *Prepared) WriteBinary(w io.Writer) error {
+	p = p.Flatten() // overlay chains serialize as their flat view
 	bw := binio.NewWriter(w)
 	bw.Raw(preparedMagic[:])
 	bw.Uvarint(preparedVersion)

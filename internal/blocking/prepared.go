@@ -21,13 +21,20 @@ import (
 // comparison-cutoff thresholds from the probed collection unchanged.
 //
 // Prepared is immutable after Prepare and safe for concurrent probes.
+// A mutated KB epoch derives its substrate with ApplyPatch (see
+// patch.go), which layers the touched keys over the frozen base as a
+// copy-on-write overlay instead of rebuilding the inverted index.
 type Prepared struct {
 	n1    int
 	nameK int
 	// tokens and names map each blocking key of the prepared KB to its
-	// member entities in ascending ID order.
+	// member entities in ascending ID order. On an overlay layer they
+	// hold only the edited keys (empty slices tombstone vanished
+	// keys); lookups fall through to base.
 	tokens map[string][]kb.EntityID
 	names  map[string][]kb.EntityID
+	base   *Prepared
+	depth  int
 }
 
 // Prepare builds the frozen substrate of kb1 for the given name-K,
@@ -90,10 +97,19 @@ func (p *Prepared) KBSize() int { return p.n1 }
 func (p *Prepared) NameK() int { return p.nameK }
 
 // Tokens returns the number of prepared token keys.
-func (p *Prepared) Tokens() int { return len(p.tokens) }
+func (p *Prepared) Tokens() int { return p.countKeys(tokenSide) }
 
 // Names returns the number of prepared name keys.
-func (p *Prepared) Names() int { return len(p.names) }
+func (p *Prepared) Names() int { return p.countKeys(nameSide) }
+
+func (p *Prepared) countKeys(side func(*Prepared) map[string][]kb.EntityID) int {
+	if p.base == nil {
+		return len(side(p))
+	}
+	n := 0
+	p.forEachPosting(side, func(string, []kb.EntityID) { n++ })
+	return n
+}
 
 // probeCancelStride is how many delta entities a probe scans between
 // context checks.
@@ -106,7 +122,7 @@ const probeCancelStride = 1024
 // blocks, same key order, same member order. KB-side member slices are
 // shared with the substrate; callers must not mutate them.
 func (p *Prepared) ProbeTokenBlocks(ctx context.Context, delta *kb.KB) (*Collection, error) {
-	return p.probe(ctx, delta.Len(), p.tokens, func(e int) []string { return delta.Tokens(kb.EntityID(e)) })
+	return p.probe(ctx, delta.Len(), p.lookupToken, func(e int) []string { return delta.Tokens(kb.EntityID(e)) })
 }
 
 // ProbeNameBlocks builds the name-block collection of (prepared KB,
@@ -116,7 +132,7 @@ func (p *Prepared) ProbeTokenBlocks(ctx context.Context, delta *kb.KB) (*Collect
 // NameBlocksN(kb1, delta, nameK).
 func (p *Prepared) ProbeNameBlocks(ctx context.Context, delta *kb.KB) (*Collection, error) {
 	attrs := delta.TopNameAttributes(p.nameK)
-	return p.probe(ctx, delta.Len(), p.names, func(e int) []string { return delta.Names(kb.EntityID(e), attrs) })
+	return p.probe(ctx, delta.Len(), p.lookupName, func(e int) []string { return delta.Names(kb.EntityID(e), attrs) })
 }
 
 // probe assembles the two-sided blocks for the delta's keys: a key
@@ -124,24 +140,33 @@ func (p *Prepared) ProbeNameBlocks(ctx context.Context, delta *kb.KB) (*Collecti
 // full construction's drop of single-sided blocks. Delta members are
 // appended in entity order and blocks sorted by key, matching
 // fromKeyMaps exactly.
-func (p *Prepared) probe(ctx context.Context, nDelta int, postings map[string][]kb.EntityID, keys func(e int) []string) (*Collection, error) {
-	buckets := make(map[string][]kb.EntityID)
+func (p *Prepared) probe(ctx context.Context, nDelta int, lookup func(string) []kb.EntityID, keys func(e int) []string) (*Collection, error) {
+	type bucket struct {
+		e1, e2 []kb.EntityID
+	}
+	buckets := make(map[string]*bucket)
 	for e := 0; e < nDelta; e++ {
 		if e%probeCancelStride == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		id := kb.EntityID(e)
 		for _, key := range keys(e) {
-			if _, shared := postings[key]; !shared {
-				continue
+			b := buckets[key]
+			if b == nil {
+				members := lookup(key)
+				if len(members) == 0 {
+					continue
+				}
+				b = &bucket{e1: members}
+				buckets[key] = b
 			}
-			buckets[key] = append(buckets[key], id)
+			b.e2 = append(b.e2, id)
 		}
 	}
 	c := NewCollection(p.n1, nDelta)
 	c.Blocks = make([]Block, 0, len(buckets))
-	for key, e2 := range buckets {
-		c.Blocks = append(c.Blocks, Block{Key: key, E1: postings[key], E2: e2})
+	for key, b := range buckets {
+		c.Blocks = append(c.Blocks, Block{Key: key, E1: b.e1, E2: b.e2})
 	}
 	c.sortBlocks()
 	return c, nil

@@ -173,6 +173,62 @@ func RunDelta(ctx context.Context, prep *pipeline.Prepared, delta *kb.KB, cfg Co
 	return resultFromState(st, stats), nil
 }
 
+// UpdatePlanFor is PlanFor for epoch-update runs: the update plan with
+// the same ablation drops, so a mutable index built without a
+// heuristic stays without it across mutations.
+func UpdatePlanFor(cfg Config) []pipeline.Stage {
+	return dropDisabled(pipeline.UpdatePlan(), cfg)
+}
+
+// RunUpdate absorbs one KB mutation into a resolved pair: prev is the
+// previous epoch's scoring substrate over (old1, old2), and the run
+// produces the result — and the next substrate — for the mutated pair
+// (new1, new2). An unmutated side passes the same KB for old and new.
+// The result is bit-identical to the full plan over (new1, new2).
+func RunUpdate(ctx context.Context, prev *pipeline.Cache, old1, old2, new1, new2 *kb.KB, cfg Config, progress pipeline.Progress, allocStats bool) (*Result, *pipeline.Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st, err := pipeline.NewUpdateState(prev, old1, old2, new1, new2, cfg.Params())
+	if err != nil {
+		return nil, nil, err
+	}
+	collect := allocStats || progress != nil
+	eng := pipeline.Engine{Plan: pipeline.UpdatePatchPlan(), Progress: progress, AllocStats: collect}
+	stats, err := eng.Run(ctx, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.EvidenceUnchanged() {
+		// Every matching input is the previous epoch's, verbatim; the
+		// heuristics would reproduce the previous outputs bit for bit.
+		st.AdoptPrevMatches()
+	} else {
+		eng = pipeline.Engine{Plan: dropDisabled(pipeline.UpdateMatchPlan(), cfg), Progress: progress, AllocStats: collect}
+		matchStats, err := eng.Run(ctx, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats = append(stats, matchStats...)
+	}
+	next := st.UpdatedCache()
+	next.SetMatches(st.H1, st.H2, st.H3, st.Matches, st.DiscardedByH4)
+	return resultFromState(st, stats), next, nil
+}
+
+// PrimeCache builds the scoring substrate a mutable index needs from
+// its resolved artifacts (the KBs and the purged token collection plus
+// B_N) — the one-time cost paid before the first mutation.
+func PrimeCache(ctx context.Context, kb1, kb2 *kb.KB, nameBlocks, tokenBlocks *blocking.Collection, purge blocking.PurgeResult, cfg Config) (*pipeline.Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := pipeline.NewState(kb1, kb2, cfg.Params())
+	st.NameBlocks = nameBlocks
+	st.TokenBlocks = tokenBlocks
+	return pipeline.NewCache(ctx, st, nameBlocks, purge)
+}
+
 func resultFromState(st *pipeline.State, stats []pipeline.StageStat) *Result {
 	return &Result{
 		Matches:          st.Matches,

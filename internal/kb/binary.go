@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"minoaner/internal/binio"
+	"minoaner/internal/rdf"
 )
 
 // Binary serialization of a built KB. Loading a large N-Triples dump
@@ -22,12 +23,18 @@ import (
 //	section 2 (predicates): predicate dictionary
 //	section 3 (stats):      attribute and relation statistics
 //	section 4 (entities):   per entity: URI, attrs, out-edges, types, tokens
+//	section 5 (sources):    tokenizer options, interned term table, and
+//	                        sorted triple refs — the retained source
+//	                        triples that make the KB mutable (see
+//	                        Store). Written only when the KB retains
+//	                        them; optional on read.
 //
 // Derived structures (in-edges, EF, URI index, type/vocab sets) are
 // rebuilt on load — they are redundant with the stored data. Version 1
 // (the same streams without section framing or checksums) is still
 // readable. Unknown section IDs are skipped, so a same-version reader
-// tolerates future appended sections.
+// tolerates future appended sections; in particular, readers predating
+// the sources section load newer KBs fine (they just are not mutable).
 
 var binaryMagic = [4]byte{'M', 'K', 'B', '1'}
 
@@ -42,6 +49,7 @@ const (
 	secPreds    = 2
 	secStats    = 3
 	secEntities = 4
+	secSources  = 5
 )
 
 // errCorrupt wraps structural failures of the binary decoder.
@@ -54,15 +62,54 @@ func (kb *KB) WriteBinary(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Raw(binaryMagic[:])
 	bw.Uvarint(binaryVersion)
+	sections := []uint64{secHeader, secPreds, secStats, secEntities}
+	if kb.src != nil {
+		sections = append(sections, secSources)
+	}
 	bw.Section(secHeader, func(e *binio.Writer) {
 		e.Str(kb.name)
 		e.Int(kb.numTriples)
+		// Trailing section inventory: the CRC-protected header names
+		// every section written, so a corrupted section ID — which
+		// would otherwise just be "skipped as unknown" — is detected
+		// as a missing inventoried section. Pre-inventory readers
+		// ignore the trailing bytes.
+		e.Int(len(sections))
+		for _, id := range sections {
+			e.Uvarint(id)
+		}
 	})
 	bw.Section(secPreds, kb.writePreds)
 	bw.Section(secStats, kb.writeStats)
 	bw.Section(secEntities, kb.writeEntities)
+	if kb.src != nil {
+		bw.Section(secSources, kb.writeSources)
+	}
 	bw.End()
 	return bw.Flush()
+}
+
+func (kb *KB) writeSources(e *binio.Writer) {
+	src := kb.src
+	e.Int(src.opts.MinLength)
+	stop := sortedStopwords(src.opts.Stopwords)
+	e.Int(len(stop))
+	for _, w := range stop {
+		e.Str(w)
+	}
+	e.Int(len(src.terms))
+	for _, t := range src.terms {
+		e.Uvarint(uint64(t.Kind))
+		e.Str(t.Value)
+		e.Str(t.Lang)
+		e.Str(t.Datatype)
+	}
+	e.Int(len(src.refs))
+	for _, r := range src.refs {
+		e.Uvarint(uint64(r.s))
+		e.Uvarint(uint64(r.p))
+		e.Uvarint(uint64(r.o))
+	}
 }
 
 func (kb *KB) writePreds(e *binio.Writer) {
@@ -182,7 +229,82 @@ func (kb *KB) readSections(dec *binio.Reader) error {
 			return fmt.Errorf("%w: section %d: %v", errCorrupt, id, err)
 		}
 	}
+	if body, ok := bodies[secSources]; ok {
+		kb.readSources(body)
+		if err := body.Err(); err != nil {
+			return fmt.Errorf("%w: sources: %v", errCorrupt, err)
+		}
+	}
+	// Verify the header's section inventory when present (files from
+	// before the inventory end after the triple count).
+	header := bodies[secHeader]
+	if header.More() {
+		n := header.Int()
+		if header.Err() == nil && n > 64 {
+			header.Fail("absurd inventory size %d", n)
+		}
+		for i := 0; i < n && header.Err() == nil; i++ {
+			id := header.Uvarint()
+			if _, ok := bodies[id]; !ok && header.Err() == nil {
+				header.Fail("inventoried section %d missing", id)
+			}
+		}
+		if err := header.Err(); err != nil {
+			return fmt.Errorf("%w: header inventory: %v", errCorrupt, err)
+		}
+	}
 	return nil
+}
+
+func (kb *KB) readSources(dec *binio.Reader) {
+	src := &Sources{}
+	src.opts.MinLength = dec.Int()
+	nStop := dec.Uvarint()
+	if dec.Err() == nil && nStop > 1<<24 {
+		dec.Fail("absurd stopword count %d", nStop)
+		return
+	}
+	if nStop > 0 {
+		src.opts.Stopwords = make(map[string]struct{}, nStop)
+	}
+	for i := uint64(0); i < nStop && dec.Err() == nil; i++ {
+		src.opts.Stopwords[dec.Str()] = struct{}{}
+	}
+	nTerms := dec.Uvarint()
+	if dec.Err() == nil && nTerms > 1<<31 {
+		dec.Fail("absurd term count %d", nTerms)
+		return
+	}
+	src.terms = make([]rdf.Term, 0, min64(nTerms, 1<<20))
+	for i := uint64(0); i < nTerms && dec.Err() == nil; i++ {
+		var t rdf.Term
+		t.Kind = rdf.TermKind(dec.Uvarint())
+		t.Value = dec.Str()
+		t.Lang = dec.Str()
+		t.Datatype = dec.Str()
+		src.terms = append(src.terms, t)
+	}
+	nRefs := dec.Uvarint()
+	if dec.Err() == nil && nRefs > 1<<33 {
+		dec.Fail("absurd ref count %d", nRefs)
+		return
+	}
+	src.refs = make([]tripleRef, 0, min64(nRefs, 1<<20))
+	for i := uint64(0); i < nRefs && dec.Err() == nil; i++ {
+		var r tripleRef
+		r.s = int32(dec.Uvarint())
+		r.p = int32(dec.Uvarint())
+		r.o = int32(dec.Uvarint())
+		src.refs = append(src.refs, r)
+	}
+	if dec.Err() != nil {
+		return
+	}
+	if err := validateSources(src); err != nil {
+		dec.Fail("%v", err)
+		return
+	}
+	kb.src = src
 }
 
 func (kb *KB) readHeader(dec *binio.Reader) {

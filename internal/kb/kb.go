@@ -76,6 +76,11 @@ type KB struct {
 	totalTokens int // sum over entities of len(Tokens)
 	typeSet     map[string]struct{}
 	vocabSet    map[string]struct{}
+
+	// src retains the interned source triples the KB was assembled
+	// from (see Sources). Non-nil only for KBs built with source
+	// retention; it is what makes a KB mutable through a Store.
+	src *Sources
 }
 
 // PredStat aggregates the statistics the paper's importance metric needs
@@ -183,9 +188,10 @@ func (kb *KB) sortedStats(m map[int32]*PredStat) []*PredStat {
 // holding full triples. Duplicates are removed by a sort+compact pass
 // at Build time (consecutive duplicates are dropped eagerly on Add).
 type Builder struct {
-	name    string
-	opts    tokenize.Options
-	workers int
+	name        string
+	opts        tokenize.Options
+	workers     int
+	keepSources bool
 
 	termIndex map[rdf.Term]int32
 	terms     []rdf.Term
@@ -196,10 +202,19 @@ type Builder struct {
 type tripleRef struct{ s, p, o int32 }
 
 // NewBuilder returns a Builder for a KB with the given display name,
-// tokenizing with tokenize.DefaultOptions.
+// tokenizing with tokenize.DefaultOptions. Built KBs retain their
+// interned source triples (the substrate of live mutation, see Store);
+// disable with SetKeepSources(false) for memory-lean ingest.
 func NewBuilder(name string) *Builder {
-	return &Builder{name: name, termIndex: make(map[rdf.Term]int32)}
+	return &Builder{name: name, termIndex: make(map[rdf.Term]int32), keepSources: true}
 }
+
+// SetKeepSources controls whether Build retains the interned source
+// triples on the KB. Retention roughly doubles the KB's memory
+// footprint but is required for mutating the KB through a Store (and
+// for persisting a mutable KB: WriteBinary includes the sources
+// section only when they are retained).
+func (b *Builder) SetKeepSources(keep bool) { b.keepSources = keep }
 
 // SetTokenizeOptions overrides the tokenizer configuration.
 func (b *Builder) SetTokenizeOptions(opts tokenize.Options) { b.opts = opts }
@@ -290,14 +305,19 @@ func (b *Builder) Len() int { return len(b.triples) }
 // under termLess. Distinct term IDs always denote distinct terms, so
 // this is a strict order with equal triples exactly at equal refs.
 func (b *Builder) refLess(x, y tripleRef) bool {
+	return refLessIn(b.terms, x, y)
+}
+
+// refLessIn is refLess over an explicit term table (shared with Store).
+func refLessIn(terms []rdf.Term, x, y tripleRef) bool {
 	if x.s != y.s {
-		return termLess(b.terms[x.s], b.terms[y.s])
+		return termLess(terms[x.s], terms[y.s])
 	}
 	if x.p != y.p {
-		return termLess(b.terms[x.p], b.terms[y.p])
+		return termLess(terms[x.p], terms[y.p])
 	}
 	if x.o != y.o {
-		return termLess(b.terms[x.o], b.terms[y.o])
+		return termLess(terms[x.o], terms[y.o])
 	}
 	return false
 }
@@ -320,10 +340,34 @@ func (b *Builder) Build() (*KB, error) {
 		refs[j] = refs[i]
 		j++
 	}
-	refs = refs[:j]
+	refs = refs[:j:j]
 
+	kb := assembleKB(b.name, b.opts, workers, b.terms, refs, nil)
+	if b.keepSources {
+		// Clip the term table so later builder appends cannot write
+		// into the retained slice's spare capacity.
+		kb.src = &Sources{opts: b.opts, terms: b.terms[:len(b.terms):len(b.terms)], refs: refs}
+	}
+	return kb, nil
+}
+
+// assembleKB runs the deterministic assembly passes over a sorted,
+// deduplicated ref slice: pass 1 creates entities in sorted-subject
+// order, pass 2 classifies objects and fills descriptions and
+// statistics, pass 3 tokenizes values and counts entity frequencies.
+// The result depends only on (terms-resolved) refs and opts — never on
+// how the refs were accumulated — which is what makes incremental
+// rebuilds (Store.Assemble) bit-identical to from-scratch builds.
+//
+// prev, when non-nil, is the previous assembly of an overlapping ref
+// set: entities whose attribute values are unchanged reuse its token
+// bags, and the EF table is derived from prev's by delta instead of a
+// full recount. Both shortcuts reproduce the from-scratch result
+// exactly (token bags depend only on the value list; EF is a pure
+// multiset count).
+func assembleKB(name string, opts tokenize.Options, workers int, terms []rdf.Term, refs []tripleRef, prev *KB) *KB {
 	kb := &KB{
-		name:       b.name,
+		name:       name,
 		uriIndex:   make(map[string]EntityID),
 		predIndex:  make(map[string]int32),
 		ef:         make(map[string]int32),
@@ -337,10 +381,10 @@ func (b *Builder) Build() (*KB, error) {
 	// Subject keys are needed once per distinct term; cache them so the
 	// two sequential passes do not re-derive (or re-allocate, for blank
 	// nodes) them per triple.
-	skey := make([]string, len(b.terms))
+	skey := make([]string, len(terms))
 	subjectKeyOf := func(id int32) string {
 		if skey[id] == "" {
-			skey[id] = SubjectKey(b.terms[id])
+			skey[id] = SubjectKey(terms[id])
 		}
 		return skey[id]
 	}
@@ -362,8 +406,8 @@ func (b *Builder) Build() (*KB, error) {
 
 	for _, ref := range refs {
 		subj := kb.uriIndex[subjectKeyOf(ref.s)]
-		obj := b.terms[ref.o]
-		pname := b.terms[ref.p].Value
+		obj := terms[ref.o]
+		pname := terms[ref.p].Value
 		kb.vocabSet[namespaceOf(pname)] = struct{}{}
 
 		if pname == RDFType && obj.IsIRI() {
@@ -421,42 +465,116 @@ func (b *Builder) Build() (*KB, error) {
 		st.Importance = importance(st, n)
 	}
 
-	// Pass 3: token bags and entity frequencies, in parallel. Each
-	// worker tokenizes a contiguous entity range into a private EF map;
-	// the merged sums are independent of merge order, so the result is
-	// bit-identical at any worker count.
-	type efShard struct {
-		ef    map[string]int32
-		total int
-	}
-	shards := make([]efShard, workers)
-	_ = parallel.For(context.Background(), len(kb.entities), workers, func(worker, start, end int) error {
-		ef := make(map[string]int32)
-		total := 0
-		for i := start; i < end; i++ {
-			e := &kb.entities[i]
-			values := make([]string, len(e.Attrs))
-			for j, av := range e.Attrs {
-				values[j] = av.Value
+	finishTokens(kb, opts, workers, prev)
+	return kb
+}
+
+// finishTokens is assembly pass 3: token bags and entity frequencies,
+// in parallel. Each worker tokenizes a contiguous entity range into a
+// private EF map; the merged sums are independent of merge order, so
+// the result is bit-identical at any worker count.
+func finishTokens(kb *KB, opts tokenize.Options, workers int, prev *KB) {
+	if prev == nil {
+		type efShard struct {
+			ef    map[string]int32
+			total int
+		}
+		shards := make([]efShard, workers)
+		_ = parallel.For(context.Background(), len(kb.entities), workers, func(worker, start, end int) error {
+			ef := make(map[string]int32)
+			total := 0
+			for i := start; i < end; i++ {
+				tokenizeEntity(&kb.entities[i], opts)
+				toks := kb.entities[i].Tokens
+				total += len(toks)
+				for _, tok := range toks {
+					ef[tok]++
+				}
 			}
-			toks := tokenize.Unique(tokenize.TokensOfAll(values, b.opts))
-			sort.Strings(toks)
-			e.Tokens = toks
-			total += len(toks)
-			for _, tok := range toks {
-				ef[tok]++
+			shards[worker] = efShard{ef: ef, total: total}
+			return nil
+		})
+		for _, sh := range shards {
+			kb.totalTokens += sh.total
+			for tok, c := range sh.ef {
+				kb.ef[tok] += c
 			}
 		}
-		shards[worker] = efShard{ef: ef, total: total}
+		return
+	}
+
+	// Incremental pass 3: entities whose attribute values survive
+	// unchanged share the previous token bags; only genuinely changed
+	// descriptions are re-tokenized, and EF is prev's table plus the
+	// delta of the changed/removed bags.
+	reused := make([]bool, prev.Len())
+	var fresh []int32
+	for i := range kb.entities {
+		e := &kb.entities[i]
+		if pid, ok := prev.uriIndex[e.URI]; ok && sameAttrValues(prev.entities[pid].Attrs, e.Attrs) {
+			e.Tokens = prev.entities[pid].Tokens
+			reused[pid] = true
+			continue
+		}
+		fresh = append(fresh, int32(i))
+	}
+	_ = parallel.For(context.Background(), len(fresh), workers, func(_, start, end int) error {
+		for _, i := range fresh[start:end] {
+			tokenizeEntity(&kb.entities[i], opts)
+		}
 		return nil
 	})
-	for _, sh := range shards {
-		kb.totalTokens += sh.total
-		for tok, c := range sh.ef {
-			kb.ef[tok] += c
+	kb.ef = make(map[string]int32, len(prev.ef))
+	for tok, c := range prev.ef {
+		kb.ef[tok] = c
+	}
+	kb.totalTokens = prev.totalTokens
+	for pid := range prev.entities {
+		if reused[pid] {
+			continue
+		}
+		toks := prev.entities[pid].Tokens
+		kb.totalTokens -= len(toks)
+		for _, tok := range toks {
+			if kb.ef[tok]--; kb.ef[tok] == 0 {
+				delete(kb.ef, tok)
+			}
 		}
 	}
-	return kb, nil
+	for _, i := range fresh {
+		toks := kb.entities[i].Tokens
+		kb.totalTokens += len(toks)
+		for _, tok := range toks {
+			kb.ef[tok]++
+		}
+	}
+}
+
+// tokenizeEntity derives an entity's sorted distinct token bag from its
+// attribute values.
+func tokenizeEntity(e *Entity, opts tokenize.Options) {
+	values := make([]string, len(e.Attrs))
+	for j, av := range e.Attrs {
+		values[j] = av.Value
+	}
+	toks := tokenize.Unique(tokenize.TokensOfAll(values, opts))
+	sort.Strings(toks)
+	e.Tokens = toks
+}
+
+// sameAttrValues reports whether two attribute lists carry the same
+// values in the same order — the exact condition under which the
+// derived token bag is unchanged (tokens depend only on values).
+func sameAttrValues(a, b []AttrValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			return false
+		}
+	}
+	return true
 }
 
 // sortRefs sorts triple refs with a parallel chunk sort followed by

@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"sort"
-
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
 )
@@ -25,7 +23,24 @@ func firstEligible(cands []Cand, h1Taken map[kb.EntityID]kb.EntityID) (Cand, boo
 // is θ·valueRank + (1-θ)·neighborRank; the top-1 candidate wins (ties
 // by ascending ID).
 func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID) bool) (kb.EntityID, bool) {
-	scores := make(map[kb.EntityID]float64, len(value)+len(neighbor))
+	// The candidate lists are top-K cuts (a couple dozen entries), so
+	// a small slice with linear lookup beats a map — same sums in the
+	// same order (each ID accumulates its value contribution before
+	// its neighbor contribution), just without the hashing.
+	type idScore struct {
+		id    kb.EntityID
+		score float64
+	}
+	scores := make([]idScore, 0, len(value)+len(neighbor))
+	add := func(id kb.EntityID, s float64) {
+		for i := range scores {
+			if scores[i].id == id {
+				scores[i].score += s
+				return
+			}
+		}
+		scores = append(scores, idScore{id: id, score: s})
+	}
 	addList := func(list []Cand, w float64) {
 		eligible := make([]Cand, 0, len(list))
 		for _, c := range list {
@@ -36,7 +51,7 @@ func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID
 		}
 		l := float64(len(eligible))
 		for i, c := range eligible {
-			scores[c.ID] += w * (l - float64(i)) / l
+			add(c.ID, w*(l-float64(i))/l)
 		}
 	}
 	addList(value, theta)
@@ -44,20 +59,15 @@ func aggregateRanks(value, neighbor []Cand, theta float64, skip func(kb.EntityID
 	if len(scores) == 0 {
 		return 0, false
 	}
-	var best kb.EntityID
-	bestScore := -1.0
-	ids := make([]kb.EntityID, 0, len(scores))
-	for id := range scores {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if s := scores[id]; s > bestScore {
-			bestScore = s
-			best = id
+	// Top-1 by score, ties to the smallest ID — what the sorted-ID
+	// scan with a strict > comparison selected.
+	best := scores[0]
+	for _, c := range scores[1:] {
+		if c.score > best.score || (c.score == best.score && c.id < best.id) {
+			best = c
 		}
 	}
-	return best, true
+	return best.id, true
 }
 
 // reciprocal implements H4: e2 must appear in e1's top-K value or

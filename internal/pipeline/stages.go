@@ -72,6 +72,9 @@ func Ingest() Stage {
 		err := parallel.For(ctx, 2, 2, func(_, start, end int) error {
 			for i := start; i < end; i++ {
 				b := kb.NewBuilder(srcs[i].Name)
+				// Batch resolution never mutates its KBs; skip source
+				// retention and its ~2x KB memory.
+				b.SetKeepSources(false)
 				b.SetWorkers(st.Params.workers())
 				rr := rdf.NewReader(srcs[i].R)
 				rr.SetLenient(srcs[i].Lenient)

@@ -90,6 +90,11 @@ type State struct {
 	// side-1 candidate arrays stay unmaterialized and are derived lazily
 	// per touched entity instead.
 	delta *deltaSide
+
+	// update, when non-nil, marks an epoch-update run (NewUpdateState):
+	// the blocking artifacts are patched rather than rebuilt and the
+	// candidate stages recompute only the affected entities.
+	update *updateSide
 }
 
 // NewState prepares the blackboard for one run over a KB pair.

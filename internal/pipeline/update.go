@@ -1,0 +1,979 @@
+// Epoch updates: the stages that absorb a KB mutation into an already
+// resolved pair without re-deriving the whole pair. The previous
+// epoch's scoring substrate (Cache) is patched for the touched keys,
+// candidate lists are recomputed only for the entities whose evidence
+// could have changed (the "affected" sets), and the cheap matching
+// passes H1-H4 rerun in full over the patched evidence.
+//
+// The update plan is bit-identical to the full plan over the mutated
+// KBs: patched collections reproduce the full construction's blocks in
+// the same order, reused candidate lists are exactly what the eager
+// stages would recompute (their inputs are untouched — weights,
+// members, and iteration order all unchanged, so every float
+// accumulates identically), and affected entities are recomputed with
+// the eager stages' accumulation order. Affected sets over-approximate
+// deliberately: recomputing an unchanged entity reproduces its list;
+// missing a changed one would be a correctness bug, and the
+// rebuild-equivalence suites exist to catch exactly that.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// Cache is the scoring substrate one epoch carries to make the next
+// mutation incremental: the one-sided blocking substrates of both
+// sides, the frozen neighbor lists, the joined (pre-purge) token
+// collection and the name collection, the purge result, and the
+// candidate lists. All fields are immutable once published.
+type Cache struct {
+	Prep1, Prep2 *blocking.Prepared
+	Top1, Top2   [][]kb.EntityID
+	Rev1, Rev2   [][]kb.EntityID
+
+	NameBlocks  *blocking.Collection // the epoch's B_N
+	RawTokens   *blocking.Collection // B_T before purging
+	TokenBlocks *blocking.Collection // B_T after purging (what queries serve)
+	Purge       blocking.PurgeResult // the epoch's purge cutoffs
+	Weights     []float64            // ARCS weight per purged block
+
+	VC1, VC2 [][]Cand
+	NC1, NC2 [][]Cand
+
+	// The epoch's matching outputs, carried so an update whose evidence
+	// comes out pointer-identical (a mutation that touched nothing the
+	// other side shares) adopts them instead of rerunning H1-H4.
+	// MatchesValid marks them present (Matches may legitimately be
+	// empty).
+	H1, H2, H3, Matches []eval.Pair
+	Discarded           int
+	MatchesValid        bool
+}
+
+// SetMatches records the epoch's matching outputs on the cache (the
+// adoption source of evidence-unchanged updates).
+func (c *Cache) SetMatches(h1, h2, h3, matches []eval.Pair, discarded int) {
+	c.H1, c.H2, c.H3, c.Matches, c.Discarded, c.MatchesValid = h1, h2, h3, matches, discarded, true
+}
+
+// NewCache primes the scoring substrate from a resolved state: st must
+// carry the KBs, the parameters, and the purged token collection (as a
+// loaded or built index does); the candidate stages rerun to
+// materialize the lists, and the one-sided substrates are built fresh.
+// This is the one-time cost of making an index mutable.
+func NewCache(ctx context.Context, st *State, nameBlocks *blocking.Collection, purge blocking.PurgeResult) (*Cache, error) {
+	if st.ValueCands1 == nil || st.NeighborCands1 == nil {
+		eng := Engine{Plan: []Stage{BlockIndexing(), TokenWeighting(), ValueCandidates(), NeighborCandidates()}}
+		if _, err := eng.Run(ctx, st); err != nil {
+			return nil, err
+		}
+	}
+	w := st.Params.workers()
+	c := &Cache{
+		Prep1:       blocking.Prepare(st.KB1, st.Params.NameK, w),
+		Prep2:       blocking.Prepare(st.KB2, st.Params.NameK, w),
+		Top1:        topNeighborLists(st.KB1, st.Params.N),
+		Top2:        topNeighborLists(st.KB2, st.Params.N),
+		NameBlocks:  nameBlocks,
+		TokenBlocks: st.TokenBlocks,
+		Purge:       purge,
+		VC1:         st.ValueCands1,
+		VC2:         st.ValueCands2,
+		NC1:         st.NeighborCands1,
+		NC2:         st.NeighborCands2,
+	}
+	c.Rev1 = kb.ReverseNeighbors(c.Top1, st.KB1.Len())
+	c.Rev2 = kb.ReverseNeighbors(c.Top2, st.KB2.Len())
+	c.RawTokens = blocking.JoinTokenBlocks(c.Prep1, c.Prep2)
+	c.Weights = st.Weights
+	if c.Weights == nil {
+		c.Weights = tokenWeights(st.TokenBlocks)
+	}
+	return c, nil
+}
+
+// updateSide is the per-run working set of an update State.
+type updateSide struct {
+	prev       *Cache
+	old1, old2 *kb.KB
+	d1, d2     *kb.Diff
+	next       *Cache
+
+	// Stage-to-stage scratch.
+	pt1, pt2               blocking.PreparedPatch
+	nameStable             bool
+	tokenKeys              []string // sorted union of both sides' token edits
+	affV1, affV2           []bool   // value-affected entities (new ID space)
+	vcChanged1, vcChanged2 []bool   // entities whose recomputed value list actually differs
+	topChanged1            []bool   // side-1 entities whose best-neighbor list changed
+	topChanged2            []bool
+	topAll1, topAll2       bool // relation reranking forced a full top rebuild
+	affectedV1Count        int
+	affectedV2Count        int
+	affectedN1, affectedN2 int
+}
+
+// NewUpdateState prepares the blackboard for one epoch update: prev is
+// the previous epoch's substrate over (old1, old2), and the run
+// resolves the mutated pair (new1, new2). Diffs are computed here; an
+// unmutated side passes the same *kb.KB on both arguments and costs
+// nothing.
+func NewUpdateState(prev *Cache, old1, old2, new1, new2 *kb.KB, p Params) (*State, error) {
+	if prev == nil || prev.Prep1 == nil || prev.Prep2 == nil || prev.RawTokens == nil || prev.NameBlocks == nil {
+		return nil, errors.New("pipeline: update state requires a primed substrate (NewCache)")
+	}
+	if len(prev.VC1) != old1.Len() || len(prev.VC2) != old2.Len() {
+		return nil, fmt.Errorf("pipeline: substrate covers (%d,%d) entities, previous KBs have (%d,%d)",
+			len(prev.VC1), len(prev.VC2), old1.Len(), old2.Len())
+	}
+	st := NewState(new1, new2, p)
+	st.update = &updateSide{
+		prev: prev,
+		old1: old1,
+		old2: old2,
+		d1:   kb.ComputeDiff(old1, new1),
+		d2:   kb.ComputeDiff(old2, new2),
+		next: &Cache{},
+	}
+	return st, nil
+}
+
+// UpdatedCache returns the substrate the update stages assembled for
+// the new epoch (valid after the plan ran to completion).
+func (s *State) UpdatedCache() *Cache { return s.update.next }
+
+// UpdatePlan returns the epoch-update counterpart of DefaultPlan. The
+// patch and affected-set stages keep the standard stage names — plan
+// edits (ablation drops) and progress reporting work identically — and
+// purging, token weighting, and the four matching heuristics are the
+// very same stages the full plan runs.
+func UpdatePlan() []Stage {
+	return append(UpdatePatchPlan(), UpdateMatchPlan()...)
+}
+
+// UpdatePatchPlan is the evidence half of UpdatePlan: substrate
+// patching, purging, weighting, and the affected-set candidate
+// recomputation. After it runs, EvidenceUnchanged reports whether the
+// matching half can be skipped by adopting the previous epoch's
+// outputs.
+func UpdatePatchPlan() []Stage {
+	return []Stage{
+		UpdateNameBlocking(),
+		UpdateTokenBlocking(),
+		UpdateBlockPurging(),
+		UpdateBlockIndexing(),
+		UpdateTokenWeighting(),
+		UpdateValueCandidates(),
+		UpdateNeighborCandidates(),
+	}
+}
+
+// UpdateBlockPurging is BlockPurging with the sharing fast path: a raw
+// collection carried over untouched purges to the previous epoch's
+// purged collection (same sizes, same cutoffs, same members).
+func UpdateBlockPurging() Stage {
+	return newStage(StageBlockPurging, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		if st.TokenBlocks == nil {
+			return errors.New("requires token blocks (run " + StageTokenBlocking + " first)")
+		}
+		if st.TokenBlocks == u.prev.RawTokens {
+			st.TokenBlocks = u.prev.TokenBlocks
+			st.PurgeStats = u.prev.Purge
+		} else {
+			st.TokenBlocks, st.PurgeStats = blocking.Purge(st.TokenBlocks, st.Params.Purge)
+		}
+		finishTokenBlocks(st)
+		return nil
+	})
+}
+
+// UpdateTokenWeighting is TokenWeighting with the sharing fast path:
+// an unchanged purged collection keeps its weights.
+func UpdateTokenWeighting() Stage {
+	return newStage(StageTokenWeighting, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		if st.TokenBlocks == u.prev.TokenBlocks && u.prev.Weights != nil {
+			st.Weights = u.prev.Weights
+		} else {
+			st.Weights = tokenWeights(st.TokenBlocks)
+		}
+		u.next.Weights = st.Weights
+		return nil
+	})
+}
+
+// UpdateMatchPlan is the matching half of UpdatePlan: the very same
+// H1-H4 stages the full plan runs, over the patched evidence.
+func UpdateMatchPlan() []Stage {
+	return []Stage{
+		NameMatching(),
+		ValueMatching(),
+		RankAggregation(),
+		Union(),
+		Reciprocity(),
+	}
+}
+
+// EvidenceUnchanged reports — after the patch plan ran — whether every
+// matching input came out pointer-identical to the previous epoch's:
+// same B_N, same candidate arrays (the sharing fast paths propagate
+// pointers only when content is unchanged). The heuristics are pure
+// functions of those inputs, so their outputs can be adopted verbatim.
+func (s *State) EvidenceUnchanged() bool {
+	u := s.update
+	if u == nil || !u.prev.MatchesValid {
+		return false
+	}
+	return s.NameBlocks == u.prev.NameBlocks &&
+		sameCandArray(s.ValueCands1, u.prev.VC1) &&
+		sameCandArray(s.ValueCands2, u.prev.VC2) &&
+		sameCandArray(s.NeighborCands1, u.prev.NC1) &&
+		sameCandArray(s.NeighborCands2, u.prev.NC2)
+}
+
+// AdoptPrevMatches installs the previous epoch's matching outputs on
+// the state (the EvidenceUnchanged shortcut).
+func (s *State) AdoptPrevMatches() {
+	p := s.update.prev
+	s.H1, s.H2, s.H3 = p.H1, p.H2, p.H3
+	s.Matches, s.DiscardedByH4 = p.Matches, p.Discarded
+	s.unionDone = true
+}
+
+// errNotUpdate guards the update-only stages against plain states.
+var errNotUpdate = errors.New("requires an update state (build it with NewUpdateState)")
+
+// UpdateNameBlocking patches both one-sided substrates with the
+// mutation's key edits (token and name postings at once — the token
+// stage consumes the same patched substrates) and derives B_N. When a
+// mutation reorders a KB's most distinctive attributes, that side's
+// name postings — and B_N — are rebuilt wholesale instead of patched.
+func UpdateNameBlocking() Stage {
+	return newStage(StageNameBlocking, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		w := st.Params.workers()
+		nameK := st.Params.NameK
+		u.nameStable = true
+
+		patchSide := func(prep *blocking.Prepared, old, new *kb.KB, d *kb.Diff) (*blocking.Prepared, blocking.PreparedPatch) {
+			if d.Identity {
+				return prep, blocking.PreparedPatch{}
+			}
+			stable := sameTopNameAttrs(old, new, nameK)
+			var oldAttrs, newAttrs []int32
+			if stable {
+				oldAttrs = old.TopNameAttributes(nameK)
+				newAttrs = new.TopNameAttributes(nameK)
+			} else {
+				u.nameStable = false
+			}
+			pt := blocking.BuildPreparedPatch(old, new, d, oldAttrs, newAttrs)
+			p := prep.ApplyPatch(pt)
+			if !stable {
+				p = p.RebuildNames(new, nameK, w)
+			}
+			return p, pt
+		}
+		u.next.Prep1, u.pt1 = patchSide(u.prev.Prep1, u.old1, st.KB1, u.d1)
+		u.next.Prep2, u.pt2 = patchSide(u.prev.Prep2, u.old2, st.KB2, u.d2)
+
+		if u.nameStable {
+			keys := make([]string, 0, len(u.pt1.Names)+len(u.pt2.Names))
+			for _, e := range u.pt1.Names {
+				keys = append(keys, e.Key)
+			}
+			for _, e := range u.pt2.Names {
+				keys = append(keys, e.Key)
+			}
+			if len(keys) == 0 && u.pt1.Remap == nil && u.pt2.Remap == nil {
+				// No name key moved and no ID shifted: B_N is the
+				// previous epoch's, shared.
+				st.NameBlocks = u.prev.NameBlocks
+				u.next.NameBlocks = st.NameBlocks
+				st.NameBlockCount = st.NameBlocks.Size()
+				st.NameComparisons = st.NameBlocks.Comparisons()
+				return nil
+			}
+			st.NameBlocks = u.prev.NameBlocks.Patch(blocking.CollectionPatch{
+				Keys:    blocking.SortedKeySet(keys),
+				Lookup1: u.next.Prep1.NamePosting,
+				Lookup2: u.next.Prep2.NamePosting,
+				Remap1:  u.pt1.Remap,
+				Remap2:  u.pt2.Remap,
+				N1:      st.KB1.Len(),
+				N2:      st.KB2.Len(),
+			})
+		} else {
+			st.NameBlocks = blocking.JoinNameBlocks(u.next.Prep1, u.next.Prep2)
+		}
+		u.next.NameBlocks = st.NameBlocks
+		st.NameBlockCount = st.NameBlocks.Size()
+		st.NameComparisons = st.NameBlocks.Comparisons()
+		return nil
+	})
+}
+
+// UpdateTokenBlocking derives the raw B_T of the new epoch by splicing
+// the touched token keys into the previous epoch's joined collection.
+func UpdateTokenBlocking() Stage {
+	return newStage(StageTokenBlocking, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		keys := make([]string, 0, len(u.pt1.Tokens)+len(u.pt2.Tokens))
+		for _, e := range u.pt1.Tokens {
+			keys = append(keys, e.Key)
+		}
+		for _, e := range u.pt2.Tokens {
+			keys = append(keys, e.Key)
+		}
+		u.tokenKeys = blocking.SortedKeySet(keys)
+		if len(u.tokenKeys) == 0 && u.pt1.Remap == nil && u.pt2.Remap == nil {
+			st.TokenBlocks = u.prev.RawTokens
+			u.next.RawTokens = st.TokenBlocks
+			return nil
+		}
+		st.TokenBlocks = u.prev.RawTokens.Patch(blocking.CollectionPatch{
+			Keys:    u.tokenKeys,
+			Lookup1: u.next.Prep1.TokenPosting,
+			Lookup2: u.next.Prep2.TokenPosting,
+			Remap1:  u.pt1.Remap,
+			Remap2:  u.pt2.Remap,
+			N1:      st.KB1.Len(),
+			N2:      st.KB2.Len(),
+		})
+		u.next.RawTokens = st.TokenBlocks
+		return nil
+	})
+}
+
+// UpdateBlockIndexing computes the access path of incremental scoring:
+// the set of purged-collection keys whose contribution changed (the
+// patched keys, plus every block whose purge status flipped when the
+// cutoffs moved) and from it the value-affected entity sets of both
+// sides.
+func UpdateBlockIndexing() Stage {
+	return newStage(StageBlockIndexing, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		if st.TokenBlocks == nil || st.TokenBlocks == u.next.RawTokens {
+			return errors.New("requires purged token blocks (run " + StageBlockPurging + " first)")
+		}
+		u.next.Purge = st.PurgeStats
+		u.next.TokenBlocks = st.TokenBlocks
+
+		changed := make(map[string]bool, len(u.tokenKeys))
+		for _, k := range u.tokenKeys {
+			changed[k] = true
+		}
+		oldRaw, newRaw := u.prev.RawTokens, u.next.RawTokens
+		oldCut1, oldCut2 := u.prev.Purge.Cutoff1, u.prev.Purge.Cutoff2
+		newCut1, newCut2 := st.PurgeStats.Cutoff1, st.PurgeStats.Cutoff2
+		if oldCut1 != newCut1 || oldCut2 != newCut2 {
+			// The cutoffs moved: an untouched block may have crossed
+			// them. Walk both raw collections in lockstep and flag every
+			// status flip.
+			oi, ni := 0, 0
+			for oi < len(oldRaw.Blocks) || ni < len(newRaw.Blocks) {
+				switch {
+				case ni == len(newRaw.Blocks) || (oi < len(oldRaw.Blocks) && oldRaw.Blocks[oi].Key < newRaw.Blocks[ni].Key):
+					oi++ // vanished key: already a patched key
+				case oi == len(oldRaw.Blocks) || newRaw.Blocks[ni].Key < oldRaw.Blocks[oi].Key:
+					ni++ // new key: already a patched key
+				default:
+					ob, nb := &oldRaw.Blocks[oi], &newRaw.Blocks[ni]
+					if survives(ob, oldCut1, oldCut2) != survives(nb, newCut1, newCut2) {
+						changed[ob.Key] = true
+					}
+					oi++
+					ni++
+				}
+			}
+		}
+
+		aff1 := make([]bool, st.KB1.Len())
+		aff2 := make([]bool, st.KB2.Len())
+		mark := func(aff []bool, members []kb.EntityID, d *kb.Diff, remapped bool) {
+			for _, id := range members {
+				if remapped {
+					if id = d.RemapID(id); id < 0 {
+						continue
+					}
+				}
+				aff[id] = true
+			}
+		}
+		for key := range changed {
+			var ob, nb *blocking.Block
+			oldLive, newLive := false, false
+			if oi := oldRaw.FindBlock(key); oi >= 0 {
+				ob = &oldRaw.Blocks[oi]
+				oldLive = survives(ob, oldCut1, oldCut2)
+			}
+			if ni := newRaw.FindBlock(key); ni >= 0 {
+				nb = &newRaw.Blocks[ni]
+				newLive = survives(nb, newCut1, newCut2)
+			}
+			// A patched key whose purged contribution is identical —
+			// same members (modulo remap), hence same sizes and weight —
+			// moves nobody's similarity sums. This is the common case
+			// for in-place modifications: only the keys the entity
+			// gained or lost actually change their blocks.
+			if oldLive && newLive &&
+				sameMembersRemapped(ob.E1, nb.E1, u.d1) && sameMembersRemapped(ob.E2, nb.E2, u.d2) {
+				continue
+			}
+			if oldLive {
+				mark(aff1, ob.E1, u.d1, true)
+				mark(aff2, ob.E2, u.d2, true)
+			}
+			if newLive {
+				mark(aff1, nb.E1, nil, false)
+				mark(aff2, nb.E2, nil, false)
+			}
+		}
+		// Entities that appeared this epoch need lists even when none
+		// of their keys formed a surviving block.
+		for _, e := range u.d1.Inserted {
+			aff1[e] = true
+		}
+		for _, e := range u.d2.Inserted {
+			aff2[e] = true
+		}
+		u.affV1, u.affV2 = aff1, aff2
+		u.affectedV1Count, u.affectedV2Count = countTrue(aff1), countTrue(aff2)
+		return nil
+	})
+}
+
+func survives(b *blocking.Block, cut1, cut2 int) bool {
+	return len(b.E1) <= cut1 && len(b.E2) <= cut2
+}
+
+// sameMembersRemapped reports whether an old member list, remapped
+// into the new ID space, equals the new list.
+func sameMembersRemapped(old, new []kb.EntityID, d *kb.Diff) bool {
+	if d.Identity {
+		return sameMembers(old, new)
+	}
+	j := 0
+	for _, id := range old {
+		nid := d.Remap[id]
+		if nid < 0 {
+			return false // a member was deleted
+		}
+		if j >= len(new) || new[j] != nid {
+			return false
+		}
+		j++
+	}
+	return j == len(new)
+}
+
+func sameMembers(a, b []kb.EntityID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// sameListArray reports whether two per-entity list arrays are the
+// same slice (the sharing fast paths propagate pointers, so identity
+// means identity of content).
+func sameListArray(a, b [][]kb.EntityID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// sameCandArray is sameListArray for candidate arrays.
+func sameCandArray(a, b [][]Cand) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// UpdateValueCandidates rebuilds the top-K value candidates of the
+// affected entities (accumulating over their purged blocks in the
+// eager stage's order) and carries everyone else's list over from the
+// previous epoch, remapped into the new ID spaces.
+func UpdateValueCandidates() Stage {
+	return newStage(StageValueCandidates, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		if u.affV1 == nil {
+			return errors.New("requires affected sets (run " + StageBlockIndexing + " first)")
+		}
+		if st.Weights == nil {
+			return errors.New("requires token weights (run " + StageTokenWeighting + " first)")
+		}
+		workers := st.Params.workers()
+		bt := st.TokenBlocks
+
+		// Affected entities resolve their tokens to block positions
+		// per lookup; past a few hundred of them, one O(|B|) key map
+		// beats repeated binary searches.
+		findBlock := bt.FindBlock
+		if u.affectedV1Count+u.affectedV2Count >= 256 {
+			pos := make(map[string]int32, len(bt.Blocks))
+			for i := range bt.Blocks {
+				pos[bt.Blocks[i].Key] = int32(i)
+			}
+			findBlock = func(key string) int32 {
+				if bi, ok := pos[key]; ok {
+					return bi
+				}
+				return -1
+			}
+		}
+
+		run := func(n, otherN int, aff []bool, prevVC [][]Cand, dSelf, dOther *kb.Diff,
+			tokens func(kb.EntityID) []string, members func(int32) []kb.EntityID) ([][]Cand, []bool, error) {
+			if countTrue(aff) == 0 && !dSelf.Shifted() && !dOther.Shifted() {
+				// Nothing on this side was touched and no IDs moved:
+				// the whole array carries over, shared.
+				return prevVC, nil, nil
+			}
+			out := make([][]Cand, n)
+			// vcChanged records, exactly, which recomputed lists differ
+			// from the previous epoch's — the set the neighbor stage
+			// must propagate. Most affected entities turn out unchanged
+			// (a re-accumulated sum over identical blocks is identical).
+			vcChanged := make([]bool, n)
+			err := parallelFor(ctx, n, workers, func(worker, start, end int) error {
+				acc := newAccumulator(otherN)
+				for e := start; e < end; e++ {
+					if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					id := kb.EntityID(e)
+					if !aff[e] {
+						prev := prevVC[dSelf.BackID(id)]
+						remapped, err := remapCands(prev, dOther)
+						if err != nil {
+							return fmt.Errorf("value candidates of entity %d: %w", e, err)
+						}
+						out[e] = remapped
+						continue
+					}
+					for _, tok := range tokens(id) {
+						bi := findBlock(tok)
+						if bi < 0 {
+							continue
+						}
+						w := st.Weights[bi]
+						for _, o := range members(bi) {
+							acc.add(int32(o), w)
+						}
+					}
+					out[e] = acc.topK(st.Params.K)
+					acc.reset()
+					vcChanged[e] = true
+					if back := dSelf.BackID(id); back >= 0 {
+						if prev, err := remapCands(prevVC[back], dOther); err == nil && sameCands(out[e], prev) {
+							vcChanged[e] = false
+						}
+					}
+				}
+				return nil
+			})
+			return out, vcChanged, err
+		}
+
+		var err error
+		st.ValueCands1, u.vcChanged1, err = run(st.KB1.Len(), st.KB2.Len(), u.affV1, u.prev.VC1, u.d1, u.d2,
+			func(e kb.EntityID) []string { return st.KB1.Tokens(e) },
+			func(bi int32) []kb.EntityID { return bt.Blocks[bi].E2 })
+		if err != nil {
+			return err
+		}
+		st.ValueCands2, u.vcChanged2, err = run(st.KB2.Len(), st.KB1.Len(), u.affV2, u.prev.VC2, u.d2, u.d1,
+			func(e kb.EntityID) []string { return st.KB2.Tokens(e) },
+			func(bi int32) []kb.EntityID { return bt.Blocks[bi].E1 })
+		if err != nil {
+			return err
+		}
+		u.next.VC1, u.next.VC2 = st.ValueCands1, st.ValueCands2
+		return nil
+	})
+}
+
+// sameCands compares candidate lists exactly (IDs and float bits).
+func sameCands(a, b []Cand) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// remapCands translates a candidate list into the opposite side's new
+// ID space (shared unchanged when that side did not shift). A deleted
+// candidate would violate the affected-set invariant — the entity
+// sharing a block with it must have been recomputed — so it is an
+// internal error, not silently dropped.
+func remapCands(cands []Cand, dOther *kb.Diff) ([]Cand, error) {
+	if !dOther.Shifted() {
+		return cands, nil
+	}
+	if cands == nil {
+		return nil, nil
+	}
+	out := make([]Cand, len(cands))
+	for i, c := range cands {
+		nid := dOther.RemapID(c.ID)
+		if nid < 0 {
+			return nil, fmt.Errorf("reused candidate %d was deleted (affected-set invariant violated)", c.ID)
+		}
+		out[i] = Cand{ID: nid, Sim: c.Sim}
+	}
+	return out, nil
+}
+
+// UpdateNeighborCandidates rebuilds the best-neighbor view where edges
+// (or the relation ranking) changed, derives which entities' neighbor
+// evidence that touches, recomputes those, and carries the rest over.
+func UpdateNeighborCandidates() Stage {
+	return newStage(StageNeighborCandidates, func(ctx context.Context, st *State) error {
+		u := st.update
+		if u == nil {
+			return errNotUpdate
+		}
+		if u.next.VC1 == nil || u.next.VC2 == nil {
+			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
+		}
+		workers := st.Params.workers()
+		n := st.Params.N
+
+		var err error
+		u.next.Top1, u.topChanged1, u.topAll1, err = updateTops(ctx, u.prev.Top1, u.old1, st.KB1, u.d1, n, workers)
+		if err != nil {
+			return err
+		}
+		u.next.Top2, u.topChanged2, u.topAll2, err = updateTops(ctx, u.prev.Top2, u.old2, st.KB2, u.d2, n, workers)
+		if err != nil {
+			return err
+		}
+		if sameListArray(u.next.Top1, u.prev.Top1) {
+			u.next.Rev1 = u.prev.Rev1 // rev is a pure function of top
+		} else {
+			u.next.Rev1 = kb.ReverseNeighbors(u.next.Top1, st.KB1.Len())
+		}
+		if sameListArray(u.next.Top2, u.prev.Top2) {
+			u.next.Rev2 = u.prev.Rev2
+		} else {
+			u.next.Rev2 = kb.ReverseNeighbors(u.next.Top2, st.KB2.Len())
+		}
+
+		// Reverse-membership deltas: the entities whose rev lists could
+		// differ from last epoch (as URI sets).
+		drev1 := revDelta(u.prev.Top1, u.next.Top1, u.topChanged1, u.d1)
+		drev2 := revDelta(u.prev.Top2, u.next.Top2, u.topChanged2, u.d2)
+
+		aff1 := neighborAffected(st.KB1.Len(), u.topChanged1, u.topAll1 || u.topAll2,
+			u.vcChanged1, u.next.Top1, u.next.Rev1, u.next.VC1, drev2)
+		aff2 := neighborAffected(st.KB2.Len(), u.topChanged2, u.topAll1 || u.topAll2,
+			u.vcChanged2, u.next.Top2, u.next.Rev2, u.next.VC2, drev1)
+		u.affectedN1, u.affectedN2 = countTrue(aff1), countTrue(aff2)
+
+		run := func(nSelf int, aff []bool, top, revOther [][]kb.EntityID, vcSelf [][]Cand,
+			prevNC [][]Cand, dSelf, dOther *kb.Diff, otherN int) ([][]Cand, error) {
+			if countTrue(aff) == 0 && !dSelf.Shifted() && !dOther.Shifted() {
+				return prevNC, nil
+			}
+			out := make([][]Cand, nSelf)
+			err := parallelFor(ctx, nSelf, workers, func(worker, start, end int) error {
+				acc := newAccumulator(otherN)
+				for e := start; e < end; e++ {
+					if (e-start)%cancelCheckStride == 0 && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					id := kb.EntityID(e)
+					if !aff[e] {
+						prev := prevNC[dSelf.BackID(id)]
+						remapped, err := remapCands(prev, dOther)
+						if err != nil {
+							return fmt.Errorf("neighbor candidates of entity %d: %w", e, err)
+						}
+						out[e] = remapped
+						continue
+					}
+					for _, nei := range top[e] {
+						for _, cand := range vcSelf[nei] {
+							if cand.Sim <= 0 {
+								continue
+							}
+							for _, o := range revOther[cand.ID] {
+								acc.add(int32(o), cand.Sim)
+							}
+						}
+					}
+					out[e] = acc.topK(st.Params.K)
+					acc.reset()
+				}
+				return nil
+			})
+			return out, err
+		}
+
+		st.NeighborCands1, err = run(st.KB1.Len(), aff1, u.next.Top1, u.next.Rev2, u.next.VC1,
+			u.prev.NC1, u.d1, u.d2, st.KB2.Len())
+		if err != nil {
+			return err
+		}
+		st.NeighborCands2, err = run(st.KB2.Len(), aff2, u.next.Top2, u.next.Rev1, u.next.VC2,
+			u.prev.NC2, u.d2, u.d1, st.KB1.Len())
+		if err != nil {
+			return err
+		}
+		u.next.NC1, u.next.NC2 = st.NeighborCands1, st.NeighborCands2
+		return nil
+	})
+}
+
+// updateTops carries the per-entity best-neighbor lists into the new
+// epoch: recomputed for entities whose edges changed (or for everyone
+// when the global relation ranking moved), remapped or shared
+// otherwise.
+func updateTops(ctx context.Context, prevTop [][]kb.EntityID, old, new *kb.KB, d *kb.Diff, n, workers int) (top [][]kb.EntityID, changed []bool, all bool, err error) {
+	if d.Identity {
+		return prevTop, nil, false, nil
+	}
+	nEnt := new.Len()
+	changed = make([]bool, nEnt)
+	if !sameRelRanking(old, new) {
+		all = true
+		for i := range changed {
+			changed[i] = true
+		}
+	} else {
+		for _, e := range d.EdgesChanged {
+			changed[e] = true
+		}
+		for _, e := range d.Inserted {
+			changed[e] = true
+		}
+	}
+	if !all && len(d.EdgesChanged) == 0 && len(d.Inserted) == 0 && !d.Shifted() {
+		// No edges moved and no IDs shifted: the whole view carries
+		// over, shared.
+		return prevTop, nil, false, nil
+	}
+	top = make([][]kb.EntityID, nEnt)
+	shifted := d.Shifted()
+	err = parallelFor(ctx, nEnt, workers, func(_, start, end int) error {
+		for e := start; e < end; e++ {
+			id := kb.EntityID(e)
+			if changed[e] {
+				top[e] = new.TopNeighbors(id, n)
+				continue
+			}
+			prev := prevTop[d.BackID(id)]
+			if !shifted || prev == nil {
+				top[e] = prev
+				continue
+			}
+			mapped := make([]kb.EntityID, len(prev))
+			for i, t := range prev {
+				nt := d.RemapID(t)
+				if nt < 0 {
+					return fmt.Errorf("neighbor %d of entity %d deleted but edges unflagged", t, e)
+				}
+				mapped[i] = nt
+			}
+			top[e] = mapped
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return top, changed, all, nil
+}
+
+// revDelta collects the entities (new ID space) whose reverse-neighbor
+// membership could differ from the previous epoch: the old and new
+// targets of every entity whose top list changed.
+func revDelta(prevTop, newTop [][]kb.EntityID, changed []bool, d *kb.Diff) map[kb.EntityID]struct{} {
+	if changed == nil {
+		return nil
+	}
+	out := make(map[kb.EntityID]struct{})
+	for e, ch := range changed {
+		if !ch {
+			continue
+		}
+		for _, t := range newTop[e] {
+			out[t] = struct{}{}
+		}
+		if old := d.BackID(kb.EntityID(e)); old >= 0 {
+			for _, t := range prevTop[old] {
+				if nt := d.RemapID(t); nt >= 0 {
+					out[nt] = struct{}{}
+				}
+			}
+		}
+	}
+	// Deleted entities leave every reverse list they were in.
+	for _, oldID := range d.Deleted {
+		for _, t := range prevTop[oldID] {
+			if nt := d.RemapID(t); nt >= 0 {
+				out[nt] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// neighborAffected derives which entities' neighbor-candidate lists
+// must be recomputed: those whose own top list changed, those with an
+// affected or rev-delta-exposed entity among their best neighbors'
+// evidence, or everyone when a side rebuilt its ranking wholesale.
+func neighborAffected(n int, topChanged []bool, all bool, affV []bool,
+	top, rev [][]kb.EntityID, vc [][]Cand, drevOther map[kb.EntityID]struct{}) []bool {
+	aff := make([]bool, n)
+	if all {
+		for i := range aff {
+			aff[i] = true
+		}
+		return aff
+	}
+	if topChanged != nil {
+		copy(aff, topChanged)
+	}
+	markReferrers := func(nei int) {
+		for _, x := range rev[nei] {
+			aff[x] = true
+		}
+	}
+	for nei := 0; nei < n; nei++ {
+		if affV != nil && affV[nei] {
+			markReferrers(nei) // the neighbor's value evidence changed
+			continue
+		}
+		if len(drevOther) > 0 {
+			for _, cand := range vc[nei] {
+				if _, hit := drevOther[cand.ID]; hit {
+					markReferrers(nei) // a proposed target's reverse list changed
+					break
+				}
+			}
+		}
+	}
+	return aff
+}
+
+// sameTopNameAttrs reports whether two KB epochs elect the same top
+// name attributes, compared as a predicate-name SET (Names membership
+// is all that matters downstream; IDs renumber freely and the ranking
+// order within the top k is irrelevant).
+func sameTopNameAttrs(old, new *kb.KB, k int) bool {
+	a, b := old.TopNameAttributes(k), new.TopNameAttributes(k)
+	if len(a) != len(b) {
+		return false
+	}
+	names := make(map[string]bool, len(a))
+	for _, p := range a {
+		names[old.Pred(p)] = true
+	}
+	for _, p := range b {
+		if !names[new.Pred(p)] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRelRanking reports whether the relative importance order of the
+// relations present in both epochs is unchanged (projected onto the
+// common predicate set — relations that appear or vanish exist only on
+// edge-changed entities, which are recomputed anyway).
+func sameRelRanking(old, new *kb.KB) bool {
+	names := func(k *kb.KB) []string {
+		stats := k.RelStats()
+		out := make([]string, len(stats))
+		for i, st := range stats {
+			out[i] = k.Pred(st.Pred)
+		}
+		return out
+	}
+	a, b := names(old), names(new)
+	inBoth := make(map[string]int, len(a))
+	for _, s := range a {
+		inBoth[s]++
+	}
+	for _, s := range b {
+		inBoth[s] |= 2
+	}
+	proj := func(xs []string) []string {
+		out := xs[:0:0]
+		for _, s := range xs {
+			if inBoth[s] == 3 {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	pa, pb := proj(a), proj(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateCounters reports how many entities the update run recomputed:
+// value-affected and neighbor-affected, per side. Valid after the
+// candidate stages ran; plain runs report zeros.
+func (s *State) UpdateCounters() (affValue1, affValue2, affNeighbor1, affNeighbor2 int) {
+	if s.update == nil {
+		return 0, 0, 0, 0
+	}
+	return s.update.affectedV1Count, s.update.affectedV2Count, s.update.affectedN1, s.update.affectedN2
+}

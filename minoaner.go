@@ -32,14 +32,19 @@
 //
 // # Serving resolution queries
 //
-// Matching is non-iterative, so a resolved KB pair is a static artifact
-// that can be persisted and queried forever: BuildIndex resolves the
-// pair once into an Index, SaveIndex / LoadIndex round-trip it through
-// a checksummed snapshot (see snapshot.go for the format), Index.Query
-// answers per-entity lookups in constant time from any number of
-// goroutines, and NewServer exposes the index over HTTP/JSON. The
-// minoaner CLI wraps the same flow as the snapshot and serve
-// subcommands; examples/serve is a runnable walkthrough.
+// Matching is non-iterative, so a resolved KB pair is a pure function
+// of its inputs that can be persisted and queried forever: BuildIndex
+// resolves the pair once into an Index, SaveIndex / LoadIndex
+// round-trip it through a checksummed snapshot (see snapshot.go for
+// the format), Index.Query answers per-entity lookups in constant time
+// from any number of goroutines, and NewServer exposes the index over
+// HTTP/JSON. The data may keep changing underneath: Index.Upsert and
+// Index.Delete absorb entity-level mutations under an epoch scheme —
+// readers stay lock-free on the old state until the new one swaps in,
+// and the mutated index answers bit-identically to a from-scratch
+// rebuild over the mutated KBs. The minoaner CLI wraps the same flow
+// as the snapshot and serve subcommands (serve -mutable enables the
+// mutation endpoints); examples/serve is a runnable walkthrough.
 package minoaner
 
 import (
@@ -193,6 +198,17 @@ func ReadKBBinary(r io.Reader) (*KB, error) {
 
 // Name returns the KB's display name.
 func (k *KB) Name() string { return k.kb.Name() }
+
+// HasSources reports whether the KB retains its source triples.
+// Retention is the default for every KB this package builds and is
+// what makes an Index over the KB mutable (Index.Upsert/Delete).
+func (k *KB) HasSources() bool { return k.kb.HasSources() }
+
+// WithoutSources returns a view of the KB with source retention
+// stripped: roughly half the memory and snapshot size, but indexes
+// over it reject mutations. The underlying data is shared; the
+// receiver is unchanged.
+func (k *KB) WithoutSources() *KB { return &KB{kb: k.kb.WithoutSources()} }
 
 // Len returns the number of entities (distinct subjects).
 func (k *KB) Len() int { return k.kb.Len() }

@@ -5,44 +5,144 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 )
 
-// Serve layer: an http.Handler exposing one immutable Index over JSON.
-// All lookup endpoints are read-only against preloaded state, so one
-// Index safely serves any number of concurrent requests; responses for
-// the same query are identical under any interleaving.
+// Serve layer: an http.Handler exposing one Index over JSON. Lookup
+// endpoints are read-only against the current epoch, so one Index
+// safely serves any number of concurrent requests; responses for the
+// same query are identical under any interleaving. With mutations
+// enabled (WithMutations), POST /upsert and POST /delete absorb
+// entity-level changes: readers keep answering from the old epoch
+// until the new one swaps in atomically, and after the swap every
+// response is bit-identical to a server over a from-scratch rebuild.
 //
 // Endpoints:
 //
 //	GET  /healthz              liveness: {"status":"ok"}
-//	GET  /stats                IndexStats of the served index
+//	GET  /stats                IndexStats, epoch, journal length, and
+//	                           per-endpoint request/latency counters
 //	GET  /resolve?uri=U&uri=V  per-URI match lookup
 //	POST /resolve              same, URIs from JSON {"uris": [...]}
 //	POST /delta?name=N&lenient=1
 //	                           resolve an N-Triples delta (request body)
 //	                           against the index's first KB
+//	POST /upsert?side=2&lenient=1
+//	                           absorb an N-Triples delta (request body)
+//	                           into the index (requires WithMutations)
+//	POST /delete               remove entities, JSON
+//	                           {"side": 2, "uris": [...]} (requires
+//	                           WithMutations)
+//
+// Error responses, 404/405s, and everything the mutation endpoints
+// return carry Cache-Control: no-store — an intermediary must never
+// serve a stale error or a pre-mutation match set from cache.
 type server struct {
-	ix  *Index
-	mux *http.ServeMux
+	ix      *Index
+	mux     *http.ServeMux
+	mutable bool
+	metrics map[string]*endpointMetrics
 }
+
+// endpointMetrics aggregates one route's traffic (lock-free; the map
+// itself is fixed at construction).
+type endpointMetrics struct {
+	requests    atomic.Int64
+	errors      atomic.Int64
+	totalMicros atomic.Int64
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*server)
+
+// WithMutations enables the /upsert and /delete endpoints. The index
+// must be mutable (Index.Mutable); requests against a read-only server
+// fail with 403.
+func WithMutations() ServerOption {
+	return func(s *server) { s.mutable = true }
+}
+
+// serveRoutes are the instrumented endpoint labels.
+var serveRoutes = []string{"healthz", "stats", "resolve", "delta", "upsert", "delete", "other"}
 
 // NewServer returns an http.Handler serving resolution queries over the
 // index. It prepares the index's delta substrate (see Index.Prepare) if
 // the loaded snapshot did not already carry it, so /delta resolves in
 // O(|delta|) from the first request.
-func NewServer(ix *Index) http.Handler {
+func NewServer(ix *Index, opts ...ServerOption) http.Handler {
 	ix.Prepare()
-	s := &server{ix: ix, mux: http.NewServeMux()}
+	s := &server{ix: ix, mux: http.NewServeMux(), metrics: make(map[string]*endpointMetrics, len(serveRoutes))}
+	for _, opt := range opts {
+		opt(s)
+	}
+	for _, route := range serveRoutes {
+		s.metrics[route] = &endpointMetrics{}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /resolve", s.handleResolveGet)
 	s.mux.HandleFunc("POST /resolve", s.handleResolvePost)
 	s.mux.HandleFunc("POST /delta", s.handleDelta)
+	s.mux.HandleFunc("POST /upsert", s.handleUpsert)
+	s.mux.HandleFunc("POST /delete", s.handleDelete)
 	return s
 }
 
+// routeLabel buckets a request path for the metrics map.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/stats":
+		return "stats"
+	case "/resolve":
+		return "resolve"
+	case "/delta":
+		return "delta"
+	case "/upsert":
+		return "upsert"
+	case "/delete":
+		return "delete"
+	}
+	return "other"
+}
+
+// statusWriter intercepts the response status so error responses —
+// including the mux's own 404/405 — carry Cache-Control: no-store and
+// are counted per endpoint.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+		if code >= 400 {
+			w.Header().Set("Cache-Control", "no-store")
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	m := s.metrics[routeLabel(r.URL.Path)]
+	m.requests.Add(1)
+	if sw.status >= 400 {
+		m.errors.Add(1)
+	}
+	m.totalMicros.Add(time.Since(start).Microseconds())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -54,30 +154,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	// The statusWriter adds Cache-Control: no-store for every >= 400
+	// status; set it here too so writeError stays safe even when a
+	// handler is mounted without the instrumented wrapper.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"matches": len(s.ix.matches),
+		"matches": len(s.ix.cur.Load().matches),
 	})
 }
 
-// statsJSON mirrors IndexStats with JSON tags.
+// statsJSON mirrors IndexStats with JSON tags, extended with the
+// serving-side epoch and traffic counters.
 type statsJSON struct {
-	KB1                    kbStatsJSON `json:"kb1"`
-	KB2                    kbStatsJSON `json:"kb2"`
-	Matches                int         `json:"matches"`
-	ByName                 int         `json:"by_name"`
-	ByValue                int         `json:"by_value"`
-	ByRank                 int         `json:"by_rank"`
-	DiscardedByReciprocity int         `json:"discarded_by_reciprocity"`
-	NameBlocks             int         `json:"name_blocks"`
-	TokenBlocks            int         `json:"token_blocks"`
-	NameComparisons        int64       `json:"name_comparisons"`
-	TokenComparisons       int64       `json:"token_comparisons"`
-	PurgedBlocks           int         `json:"purged_blocks"`
+	KB1                    kbStatsJSON                  `json:"kb1"`
+	KB2                    kbStatsJSON                  `json:"kb2"`
+	Epoch                  uint64                       `json:"epoch"`
+	JournalLength          int                          `json:"journal_length"`
+	Mutable                bool                         `json:"mutable"`
+	Matches                int                          `json:"matches"`
+	ByName                 int                          `json:"by_name"`
+	ByValue                int                          `json:"by_value"`
+	ByRank                 int                          `json:"by_rank"`
+	DiscardedByReciprocity int                          `json:"discarded_by_reciprocity"`
+	NameBlocks             int                          `json:"name_blocks"`
+	TokenBlocks            int                          `json:"token_blocks"`
+	NameComparisons        int64                        `json:"name_comparisons"`
+	TokenComparisons       int64                        `json:"token_comparisons"`
+	PurgedBlocks           int                          `json:"purged_blocks"`
+	Endpoints              map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+type endpointStatsJSON struct {
+	Requests     int64 `json:"requests"`
+	Errors       int64 `json:"errors"`
+	AvgLatencyUS int64 `json:"avg_latency_us"`
 }
 
 type kbStatsJSON struct {
@@ -87,10 +202,27 @@ type kbStatsJSON struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.ix.Stats()
+	e := s.ix.cur.Load()
+	st := s.ix.statsOf(e)
+	endpoints := make(map[string]endpointStatsJSON, len(s.metrics))
+	for route, m := range s.metrics {
+		reqs := m.requests.Load()
+		es := endpointStatsJSON{Requests: reqs, Errors: m.errors.Load()}
+		if reqs > 0 {
+			es.AvgLatencyUS = m.totalMicros.Load() / reqs
+		}
+		endpoints[route] = es
+	}
+	if s.mutable {
+		// Stats on a mutable server describe a moving target.
+		w.Header().Set("Cache-Control", "no-store")
+	}
 	writeJSON(w, http.StatusOK, statsJSON{
-		KB1:                    kbStatsJSON{Name: s.ix.kb1.Name(), Entities: st.KB1.Entities, Triples: st.KB1.Triples},
-		KB2:                    kbStatsJSON{Name: s.ix.kb2.Name(), Entities: st.KB2.Entities, Triples: st.KB2.Triples},
+		KB1:                    kbStatsJSON{Name: e.kb1.Name(), Entities: st.KB1.Entities, Triples: st.KB1.Triples},
+		KB2:                    kbStatsJSON{Name: e.kb2.Name(), Entities: st.KB2.Entities, Triples: st.KB2.Triples},
+		Epoch:                  st.Epoch,
+		JournalLength:          st.JournalLength,
+		Mutable:                s.mutable && s.ix.Mutable(),
 		Matches:                st.Matches,
 		ByName:                 st.ByName,
 		ByValue:                st.ByValue,
@@ -101,6 +233,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NameComparisons:        st.NameComparisons,
 		TokenComparisons:       st.TokenComparisons,
 		PurgedBlocks:           st.PurgedBlocks,
+		Endpoints:              endpoints,
 	})
 }
 
@@ -179,8 +312,8 @@ type deltaResponseJSON struct {
 	SkippedLines int         `json:"skipped_lines,omitempty"`
 }
 
-// maxDeltaBytes bounds one /delta body: the endpoint resolves small
-// deltas, not bulk re-ingests.
+// maxDeltaBytes bounds one /delta or /upsert body: the endpoints absorb
+// small deltas, not bulk re-ingests.
 const maxDeltaBytes = 64 << 20
 
 func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
@@ -213,4 +346,138 @@ func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Entities = res.kb2.Len()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// mutationResponseJSON reports an absorbed mutation.
+type mutationResponseJSON struct {
+	Epoch        uint64 `json:"epoch"`
+	Side         int    `json:"side"`
+	Subjects     int    `json:"subjects"`
+	Matches      int    `json:"matches"`
+	SkippedLines int    `json:"skipped_lines,omitempty"`
+	NoOp         bool   `json:"no_op,omitempty"`
+}
+
+// requireMutable guards the mutation endpoints.
+func (s *server) requireMutable(w http.ResponseWriter) bool {
+	if !s.mutable {
+		writeError(w, http.StatusForbidden, "mutations are disabled on this server (start it with -mutable)")
+		return false
+	}
+	if !s.ix.Mutable() {
+		writeError(w, http.StatusConflict, "index is not mutable: its snapshot predates source retention; rebuild it from sources")
+		return false
+	}
+	return true
+}
+
+// parseSide reads the side query/body parameter (default 2: the
+// "delta" side).
+func parseSide(raw string) (int, error) {
+	switch raw {
+	case "", "2":
+		return 2, nil
+	case "1":
+		return 1, nil
+	}
+	return 0, fmt.Errorf("side must be 1 or 2, got %q", raw)
+}
+
+func (s *server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	// Mutation responses must never be cached, success included: they
+	// describe a state transition, not a resource.
+	w.Header().Set("Cache-Control", "no-store")
+	if !s.requireMutable(w) {
+		return
+	}
+	side, err := parseSide(r.URL.Query().Get("side"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lenient := r.URL.Query().Get("lenient") == "1"
+	body := http.MaxBytesReader(w, r.Body, maxDeltaBytes)
+	var delta *KB
+	var skipped int
+	if lenient {
+		delta, skipped, err = LoadKBLenient("upsert", body)
+	} else {
+		delta, err = LoadKB("upsert", body)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "delta exceeds %d bytes", maxDeltaBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parsing upsert delta: %v", err)
+		return
+	}
+	if delta.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "upsert delta contains no entities")
+		return
+	}
+	out, err := s.ix.applyMutation(r.Context(), side, delta, nil)
+	if err != nil {
+		s.writeMutationError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponseJSON{
+		Epoch:        out.epoch,
+		Side:         side,
+		Subjects:     delta.Len(),
+		Matches:      out.matches,
+		SkippedLines: skipped,
+		NoOp:         out.noop,
+	})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if !s.requireMutable(w) {
+		return
+	}
+	var body struct {
+		Side int      `json:"side"`
+		URIs []string `json:"uris"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResolveBytes))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if body.Side == 0 {
+		body.Side = 2
+	}
+	if body.Side != 1 && body.Side != 2 {
+		writeError(w, http.StatusBadRequest, "side must be 1 or 2, got %d", body.Side)
+		return
+	}
+	if len(body.URIs) == 0 {
+		writeError(w, http.StatusBadRequest, "no URIs given: pass a JSON body {\"side\": 2, \"uris\": [...]}")
+		return
+	}
+	out, err := s.ix.applyMutation(r.Context(), body.Side, nil, body.URIs)
+	if err != nil {
+		s.writeMutationError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponseJSON{
+		Epoch:    out.epoch,
+		Side:     body.Side,
+		Subjects: len(body.URIs),
+		Matches:  out.matches,
+		NoOp:     out.noop,
+	})
+}
+
+func (s *server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrNotMutable):
+		writeError(w, http.StatusConflict, "%v", err)
+	case r.Context().Err() != nil:
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusBadRequest, "applying mutation: %v", err)
+	}
 }

@@ -20,8 +20,17 @@ import (
 //
 //	magic "MSNP" | uvarint version | sections | end marker
 //
-//	section 1 (config):       the Config the index was built under
-//	section 2 (kb1):          first KB, embedded KB binary (internal/kb)
+//	section 1 (config):       the Config the index was built under,
+//	                          followed by the section inventory (the
+//	                          IDs of every section written) — the
+//	                          checksummed defense against a corrupted
+//	                          section ID making an optional section
+//	                          silently vanish. Pre-inventory snapshots
+//	                          end after the config fields and load
+//	                          fine.
+//	section 2 (kb1):          first KB, embedded KB binary (internal/kb;
+//	                          includes retained source triples when the
+//	                          KB is mutable)
 //	section 3 (kb2):          second KB, embedded KB binary
 //	section 4 (name-blocks):  B_N, embedded collection binary (internal/blocking)
 //	section 5 (token-blocks): B_T after purging, embedded collection binary
@@ -33,16 +42,23 @@ import (
 //	                          (internal/blocking "MPS1") followed by the
 //	                          frozen per-entity neighbor lists. Written
 //	                          only when the substrate has been built.
+//	section 9 (journal):      epoch number and the mutation journal —
+//	                          one record per absorbed Upsert/Delete
+//	                          since the last Compact. Written only for
+//	                          indexes past epoch 0 (or with journal
+//	                          entries); snapshots of mutated indexes
+//	                          persist the *mutated* state in sections
+//	                          1-8, so readers that skip this section
+//	                          still serve correct matches.
 //
 // Compatibility promise: a reader accepts exactly the format versions
 // it names (currently 1), skips unknown section IDs within them, and
 // rejects everything else — including any payload whose checksum does
 // not match — with an error wrapping ErrSnapshotCorrupt. Saving a
-// loaded index reproduces the snapshot bit-for-bit. The prepared
-// section is optional in both directions: snapshots from before it
-// existed load fine (the substrate is rebuilt on demand by
-// Index.Prepare / QueryKBFast), and older readers skip the section
-// unharmed.
+// loaded index reproduces the snapshot bit-for-bit, journal included.
+// The prepared and journal sections are optional in both directions:
+// snapshots from before they existed load fine, and older readers skip
+// them unharmed.
 
 var snapshotMagic = [4]byte{'M', 'S', 'N', 'P'}
 
@@ -58,6 +74,7 @@ const (
 	snapStats       = 6
 	snapMatches     = 7
 	snapPrepared    = 8
+	snapJournal     = 9
 )
 
 // ErrSnapshotCorrupt is wrapped by every LoadIndex failure caused by
@@ -66,48 +83,83 @@ var ErrSnapshotCorrupt = errors.New("minoaner: corrupt index snapshot")
 
 // SaveIndex writes the index snapshot. The encoding is deterministic:
 // saving the same index (built or loaded) always produces the same
-// bytes.
+// bytes. SaveIndex captures a consistent epoch/journal pair: it
+// briefly excludes mutations (readers are unaffected), so a snapshot
+// never interleaves two epochs.
 func SaveIndex(w io.Writer, ix *Index) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e := ix.cur.Load()
+
+	withJournal := e.seq > 0 || len(ix.journal) > 0
+	sections := []uint64{snapConfig, snapKB1, snapKB2, snapNameBlocks, snapTokenBlocks, snapStats, snapMatches}
+	if e.prep != nil {
+		sections = append(sections, snapPrepared)
+	}
+	if withJournal {
+		sections = append(sections, snapJournal)
+	}
+
 	bw := binio.NewWriter(w)
 	bw.Raw(snapshotMagic[:])
 	bw.Uvarint(snapshotVersion)
-	bw.Section(snapConfig, func(e *binio.Writer) {
-		writeConfig(e, ix.cfg)
+	bw.Section(snapConfig, func(enc *binio.Writer) {
+		writeConfig(enc, e.cfg)
+		enc.Int(len(sections))
+		for _, id := range sections {
+			enc.Uvarint(id)
+		}
 	})
-	if err := writeEmbedded(bw, snapKB1, ix.kb1.kb.WriteBinary); err != nil {
+	if err := writeEmbedded(bw, snapKB1, e.kb1.kb.WriteBinary); err != nil {
 		return err
 	}
-	if err := writeEmbedded(bw, snapKB2, ix.kb2.kb.WriteBinary); err != nil {
+	if err := writeEmbedded(bw, snapKB2, e.kb2.kb.WriteBinary); err != nil {
 		return err
 	}
-	if err := writeEmbedded(bw, snapNameBlocks, ix.nameBlocks.WriteBinary); err != nil {
+	if err := writeEmbedded(bw, snapNameBlocks, e.nameBlocks.WriteBinary); err != nil {
 		return err
 	}
-	if err := writeEmbedded(bw, snapTokenBlocks, ix.tokenBlocks.WriteBinary); err != nil {
+	if err := writeEmbedded(bw, snapTokenBlocks, e.tokenBlocks.WriteBinary); err != nil {
 		return err
 	}
-	bw.Section(snapStats, func(e *binio.Writer) {
-		e.Int(ix.purge.Cutoff1)
-		e.Int(ix.purge.Cutoff2)
-		e.Int(ix.purge.RemovedBlocks)
-		e.Uvarint(uint64(ix.purge.RemovedComparisons))
-		e.Int(ix.nameBlockCount)
-		e.Int(ix.tokenBlockCount)
-		e.Uvarint(uint64(ix.nameComparisons))
-		e.Uvarint(uint64(ix.tokenComparisons))
+	bw.Section(snapStats, func(enc *binio.Writer) {
+		enc.Int(e.purge.Cutoff1)
+		enc.Int(e.purge.Cutoff2)
+		enc.Int(e.purge.RemovedBlocks)
+		enc.Uvarint(uint64(e.purge.RemovedComparisons))
+		enc.Int(e.nameBlockCount)
+		enc.Int(e.tokenBlockCount)
+		enc.Uvarint(uint64(e.nameComparisons))
+		enc.Uvarint(uint64(e.tokenComparisons))
 	})
-	bw.Section(snapMatches, func(e *binio.Writer) {
-		writePairs(e, ix.h1)
-		writePairs(e, ix.h2)
-		writePairs(e, ix.h3)
-		writePairs(e, ix.matches)
-		e.Int(ix.discardedByH4)
+	bw.Section(snapMatches, func(enc *binio.Writer) {
+		writePairs(enc, e.h1)
+		writePairs(enc, e.h2)
+		writePairs(enc, e.h3)
+		writePairs(enc, e.matches)
+		enc.Int(e.discardedByH4)
 	})
-	if prep := ix.preparedSide(); prep != nil {
-		bw.Section(snapPrepared, func(e *binio.Writer) {
-			e.Int(prep.Neighbors.N())
-			e.Embed(prep.Blocks.WriteBinary)
-			writeNeighborLists(e, prep.Neighbors.TopLists())
+	if e.prep != nil {
+		bw.Section(snapPrepared, func(enc *binio.Writer) {
+			enc.Int(e.prep.Neighbors.N())
+			enc.Embed(e.prep.Blocks.WriteBinary)
+			writeNeighborLists(enc, e.prep.Neighbors.TopLists())
+		})
+	}
+	if withJournal {
+		bw.Section(snapJournal, func(enc *binio.Writer) {
+			enc.Uvarint(e.seq)
+			enc.Int(len(ix.journal))
+			for _, je := range ix.journal {
+				enc.Uvarint(je.Seq)
+				enc.Uvarint(uint64(je.Op))
+				enc.Int(je.Side)
+				enc.Int(len(je.Subjects))
+				for _, s := range je.Subjects {
+					enc.Str(s)
+				}
+				enc.Int(je.Triples)
+			}
 		})
 	}
 	bw.End()
@@ -128,43 +180,44 @@ func writeNeighborLists(e *binio.Writer, top [][]kb.EntityID) {
 // readPreparedSection restores the prepared substrate of a snapshot,
 // validating it against the already-loaded KB1 and config.
 func readPreparedSection(b *binio.Reader, ix *Index) error {
+	e := ix.cur.Load()
 	n := b.Int()
 	if err := b.Err(); err != nil {
 		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
 	}
-	if n != ix.cfg.internal().Params().N {
+	if n != e.cfg.internal().Params().N {
 		return fmt.Errorf("%w: prepared substrate frozen for N=%d, config has N=%d",
-			ErrSnapshotCorrupt, n, ix.cfg.N)
+			ErrSnapshotCorrupt, n, e.cfg.N)
 	}
 	bp, err := blocking.ReadPrepared(b.Embedded())
 	if err != nil {
 		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
 	}
-	if bp.KBSize() != ix.kb1.Len() {
+	if bp.KBSize() != e.kb1.Len() {
 		return fmt.Errorf("%w: prepared substrate covers %d entities, KB1 has %d",
-			ErrSnapshotCorrupt, bp.KBSize(), ix.kb1.Len())
+			ErrSnapshotCorrupt, bp.KBSize(), e.kb1.Len())
 	}
-	if bp.NameK() != ix.cfg.NameAttributes {
+	if bp.NameK() != e.cfg.NameAttributes {
 		return fmt.Errorf("%w: prepared substrate built with NameK=%d, config has %d",
-			ErrSnapshotCorrupt, bp.NameK(), ix.cfg.NameAttributes)
+			ErrSnapshotCorrupt, bp.NameK(), e.cfg.NameAttributes)
 	}
 	nEnt := b.Int()
-	if b.Err() == nil && nEnt != ix.kb1.Len() {
-		b.Fail("neighbor lists cover %d entities, KB1 has %d", nEnt, ix.kb1.Len())
+	if b.Err() == nil && nEnt != e.kb1.Len() {
+		b.Fail("neighbor lists cover %d entities, KB1 has %d", nEnt, e.kb1.Len())
 	}
 	top := make([][]kb.EntityID, 0, min(nEnt, 1<<20))
-	for e := 0; e < nEnt && b.Err() == nil; e++ {
+	for i := 0; i < nEnt && b.Err() == nil; i++ {
 		cnt := b.Int()
-		if cnt > ix.kb1.Len() {
-			b.Fail("neighbor list larger than the KB (%d > %d)", cnt, ix.kb1.Len())
+		if cnt > e.kb1.Len() {
+			b.Fail("neighbor list larger than the KB (%d > %d)", cnt, e.kb1.Len())
 			break
 		}
 		nbrs := make([]kb.EntityID, 0, cnt)
 		prev := int64(-1)
 		for j := 0; j < cnt && b.Err() == nil; j++ {
 			id := b.Uvarint()
-			if id >= uint64(ix.kb1.Len()) || int64(id) <= prev {
-				b.Fail("neighbor %d out of order or range [0,%d)", id, ix.kb1.Len())
+			if id >= uint64(e.kb1.Len()) || int64(id) <= prev {
+				b.Fail("neighbor %d out of order or range [0,%d)", id, e.kb1.Len())
 				break
 			}
 			prev = int64(id)
@@ -177,8 +230,59 @@ func readPreparedSection(b *binio.Reader, ix *Index) error {
 	}
 	ix.setPreparedSide(&pipeline.Prepared{
 		Blocks:    bp,
-		Neighbors: kb.FrozenFromLists(ix.kb1.kb, n, top),
+		Neighbors: kb.FrozenFromLists(e.kb1.kb, n, top),
 	})
+	return nil
+}
+
+// readJournalSection restores the epoch number and mutation journal.
+func readJournalSection(b *binio.Reader, ix *Index) error {
+	e := ix.cur.Load()
+	seq := b.Uvarint()
+	n := b.Int()
+	if b.Err() == nil && n > 1<<24 {
+		b.Fail("absurd journal length %d", n)
+	}
+	entries := make([]JournalEntry, 0, min(n, 1<<16))
+	prev := uint64(0)
+	for i := 0; i < n && b.Err() == nil; i++ {
+		var je JournalEntry
+		je.Seq = b.Uvarint()
+		je.Op = byte(b.Uvarint())
+		je.Side = b.Int()
+		nSub := b.Int()
+		if b.Err() != nil {
+			break
+		}
+		if je.Op != JournalUpsert && je.Op != JournalDelete {
+			b.Fail("journal entry %d has invalid op %d", i, je.Op)
+			break
+		}
+		if je.Side != 1 && je.Side != 2 {
+			b.Fail("journal entry %d has invalid side %d", i, je.Side)
+			break
+		}
+		if je.Seq <= prev || je.Seq > seq {
+			b.Fail("journal entry %d out of sequence (%d after %d, epoch %d)", i, je.Seq, prev, seq)
+			break
+		}
+		prev = je.Seq
+		if nSub > 1<<24 {
+			b.Fail("absurd subject count %d", nSub)
+			break
+		}
+		for s := 0; s < nSub && b.Err() == nil; s++ {
+			je.Subjects = append(je.Subjects, b.Str())
+		}
+		je.Triples = b.Int()
+		entries = append(entries, je)
+	}
+	if err := b.Err(); err != nil {
+		return fmt.Errorf("%w: journal: %v", ErrSnapshotCorrupt, err)
+	}
+	e.seq = seq
+	ix.journal = entries
+	ix.journalLen.Store(int64(len(entries)))
 	return nil
 }
 
@@ -201,13 +305,15 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		return b, nil
 	}
 
+	e := &epoch{}
 	ix := &Index{}
+	ix.cur.Store(e)
 
 	b, err := body(snapConfig, "config")
 	if err != nil {
 		return nil, err
 	}
-	ix.cfg = readConfig(b)
+	e.cfg = readConfig(b)
 	if err := b.Err(); err != nil {
 		return nil, fmt.Errorf("%w: config: %v", ErrSnapshotCorrupt, err)
 	}
@@ -223,10 +329,10 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		}
 		return &KB{kb: built}, nil
 	}
-	if ix.kb1, err = readKB(snapKB1, "kb1"); err != nil {
+	if e.kb1, err = readKB(snapKB1, "kb1"); err != nil {
 		return nil, err
 	}
-	if ix.kb2, err = readKB(snapKB2, "kb2"); err != nil {
+	if e.kb2, err = readKB(snapKB2, "kb2"); err != nil {
 		return nil, err
 	}
 
@@ -239,30 +345,30 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, name, err)
 		}
-		if n1, n2 := c.KBSizes(); n1 != ix.kb1.Len() || n2 != ix.kb2.Len() {
+		if n1, n2 := c.KBSizes(); n1 != e.kb1.Len() || n2 != e.kb2.Len() {
 			return nil, fmt.Errorf("%w: %s built for KB sizes (%d,%d), snapshot KBs have (%d,%d)",
-				ErrSnapshotCorrupt, name, n1, n2, ix.kb1.Len(), ix.kb2.Len())
+				ErrSnapshotCorrupt, name, n1, n2, e.kb1.Len(), e.kb2.Len())
 		}
 		return c, nil
 	}
-	if ix.nameBlocks, err = readBlocks(snapNameBlocks, "name-blocks"); err != nil {
+	if e.nameBlocks, err = readBlocks(snapNameBlocks, "name-blocks"); err != nil {
 		return nil, err
 	}
-	if ix.tokenBlocks, err = readBlocks(snapTokenBlocks, "token-blocks"); err != nil {
+	if e.tokenBlocks, err = readBlocks(snapTokenBlocks, "token-blocks"); err != nil {
 		return nil, err
 	}
 
 	if b, err = body(snapStats, "stats"); err != nil {
 		return nil, err
 	}
-	ix.purge.Cutoff1 = b.Int()
-	ix.purge.Cutoff2 = b.Int()
-	ix.purge.RemovedBlocks = b.Int()
-	ix.purge.RemovedComparisons = int64(b.Uvarint())
-	ix.nameBlockCount = b.Int()
-	ix.tokenBlockCount = b.Int()
-	ix.nameComparisons = int64(b.Uvarint())
-	ix.tokenComparisons = int64(b.Uvarint())
+	e.purge.Cutoff1 = b.Int()
+	e.purge.Cutoff2 = b.Int()
+	e.purge.RemovedBlocks = b.Int()
+	e.purge.RemovedComparisons = int64(b.Uvarint())
+	e.nameBlockCount = b.Int()
+	e.tokenBlockCount = b.Int()
+	e.nameComparisons = int64(b.Uvarint())
+	e.tokenComparisons = int64(b.Uvarint())
 	if err := b.Err(); err != nil {
 		return nil, fmt.Errorf("%w: stats: %v", ErrSnapshotCorrupt, err)
 	}
@@ -270,25 +376,50 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	if b, err = body(snapMatches, "matches"); err != nil {
 		return nil, err
 	}
-	n1, n2 := ix.kb1.Len(), ix.kb2.Len()
-	ix.h1 = readPairs(b, n1, n2)
-	ix.h2 = readPairs(b, n1, n2)
-	ix.h3 = readPairs(b, n1, n2)
-	ix.matches = readPairs(b, n1, n2)
-	ix.discardedByH4 = b.Int()
+	n1, n2 := e.kb1.Len(), e.kb2.Len()
+	e.h1 = readPairs(b, n1, n2)
+	e.h2 = readPairs(b, n1, n2)
+	e.h3 = readPairs(b, n1, n2)
+	e.matches = readPairs(b, n1, n2)
+	e.discardedByH4 = b.Int()
 	if err := b.Err(); err != nil {
 		return nil, fmt.Errorf("%w: matches: %v", ErrSnapshotCorrupt, err)
 	}
 
-	// The prepared section is optional: pre-substrate snapshots load
-	// without it and prepare on demand.
+	// The prepared and journal sections are optional: pre-substrate /
+	// pre-mutability snapshots load without them.
 	if pb, ok := bodies[snapPrepared]; ok {
 		if err := readPreparedSection(pb, ix); err != nil {
 			return nil, err
 		}
 	}
+	if jb, ok := bodies[snapJournal]; ok {
+		if err := readJournalSection(jb, ix); err != nil {
+			return nil, err
+		}
+	}
 
-	ix.buildLookup()
+	// Verify the config section's trailing inventory when present: a
+	// bit flip on an optional section's ID would otherwise demote it to
+	// "unknown, skipped".
+	cb := bodies[snapConfig]
+	if cb.More() {
+		n := cb.Int()
+		if cb.Err() == nil && n > 64 {
+			cb.Fail("absurd inventory size %d", n)
+		}
+		for i := 0; i < n && cb.Err() == nil; i++ {
+			id := cb.Uvarint()
+			if _, ok := bodies[id]; !ok && cb.Err() == nil {
+				cb.Fail("inventoried section %d missing", id)
+			}
+		}
+		if err := cb.Err(); err != nil {
+			return nil, fmt.Errorf("%w: config inventory: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+
+	e.buildLookup()
 	return ix, nil
 }
 
