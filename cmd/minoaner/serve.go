@@ -24,6 +24,7 @@ func runServe(args []string) {
 	mc := declareMatchFlags(fs)
 	indexPath := fs.String("index", "", "snapshot file to serve (from 'minoaner snapshot'); overrides -kb1/-kb2")
 	mutable := fs.Bool("mutable", false, "enable POST /upsert and /delete: live entity mutations with atomic epoch swaps (requires an index with retained sources)")
+	shards := fs.Int("shards", 0, "shard the index substrate into this many hash partitions: /delta scatters across them in parallel and mutations patch only the owning shards, with bit-identical answers (0 keeps the index's own shard count; 1 forces unsharded)")
 	addr := fs.String("addr", ":8080", "listen address")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "maximum duration for reading one request (body included)")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "maximum duration for writing one response")
@@ -48,6 +49,11 @@ func runServe(args []string) {
 		}
 		fmt.Fprintf(os.Stderr, "index built in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if *shards > 0 {
+		if err := ix.Reshard(*shards); err != nil {
+			log.Fatalf("-shards: %v", err)
+		}
+	}
 	if !ix.Prepared() {
 		t0 := time.Now()
 		ix.Prepare()
@@ -62,9 +68,13 @@ func runServe(args []string) {
 		serverOpts = append(serverOpts, minoaner.WithMutations())
 	}
 	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities (epoch %d%s)\n",
+	shardNote := ""
+	if st.Shards > 1 {
+		shardNote = fmt.Sprintf(", %d shards", st.Shards)
+	}
+	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities (epoch %d%s%s)\n",
 		st.Matches, st.KB1.Entities, st.KB2.Entities, st.Epoch,
-		map[bool]string{true: ", mutable", false: ""}[*mutable])
+		map[bool]string{true: ", mutable", false: ""}[*mutable], shardNote)
 
 	srv := &http.Server{
 		Addr:              *addr,

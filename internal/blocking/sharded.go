@@ -1,0 +1,123 @@
+// Owner-based sharding of the one-sided blocking substrate. A sharded
+// index partitions the prepared KB's entities across K sub-substrates
+// by a stable hash of their URIs; each sub-substrate holds the postings
+// restricted to its owned entities, in the global ID space, so a probe
+// against all K subs reproduces — after an ascending-ID merge per key —
+// exactly the blocks a probe against the unsplit substrate yields.
+package blocking
+
+import (
+	"fmt"
+
+	"minoaner/internal/kb"
+)
+
+// SplitByOwner partitions the substrate into k owner-restricted
+// sub-substrates: sub s keeps, for every key, the members e with
+// owners[e] == s, in the same (ascending) order. Entity IDs stay
+// global and every sub reports the global KB size, so purge cutoffs
+// and ARCS weights computed downstream see the same totals the
+// unsplit substrate implies. The receiver is unchanged.
+func (p *Prepared) SplitByOwner(owners []int32, k int) []*Prepared {
+	subs := make([]*Prepared, k)
+	for s := range subs {
+		subs[s] = &Prepared{
+			n1:     p.n1,
+			nameK:  p.nameK,
+			tokens: make(map[string][]kb.EntityID),
+			names:  make(map[string][]kb.EntityID),
+		}
+	}
+	parts := make([][]kb.EntityID, k)
+	split := func(members []kb.EntityID, assign func(s int, part []kb.EntityID)) {
+		for _, id := range members {
+			s := owners[id]
+			parts[s] = append(parts[s], id)
+		}
+		for s := range parts {
+			if len(parts[s]) > 0 {
+				assign(s, parts[s])
+				parts[s] = nil
+			}
+		}
+	}
+	p.forEachPosting(tokenSide, func(key string, members []kb.EntityID) {
+		split(members, func(s int, part []kb.EntityID) { subs[s].tokens[key] = part })
+	})
+	p.forEachPosting(nameSide, func(key string, members []kb.EntityID) {
+		split(members, func(s int, part []kb.EntityID) { subs[s].names[key] = part })
+	})
+	return subs
+}
+
+// SplitPatchByOwner distributes one substrate patch across k
+// owner-restricted sub-substrates: each key edit's Remove and Add
+// lists (already in the new ID space) are filtered to the members the
+// shard owns under the post-mutation owner map, so applying part s to
+// sub-substrate s touches only that shard's postings. Without a remap,
+// shards with no owned edits get an empty patch (callers can skip
+// applying those); with a remap every part carries it, because every
+// surviving member's ID may move even when the shard has no edits.
+func SplitPatchByOwner(pt PreparedPatch, owners []int32, k int) []PreparedPatch {
+	out := make([]PreparedPatch, k)
+	for s := range out {
+		out[s].Remap = pt.Remap
+		out[s].NewSize = pt.NewSize
+	}
+	splitEdits := func(edits []KeyEdit, get func(s int) *[]KeyEdit) {
+		for _, e := range edits {
+			for s := 0; s < k; s++ {
+				rm := filterOwned(e.Remove, owners, int32(s))
+				ad := filterOwned(e.Add, owners, int32(s))
+				if len(rm) == 0 && len(ad) == 0 {
+					continue
+				}
+				dst := get(s)
+				*dst = append(*dst, KeyEdit{Key: e.Key, Remove: rm, Add: ad})
+			}
+		}
+	}
+	splitEdits(pt.Tokens, func(s int) *[]KeyEdit { return &out[s].Tokens })
+	splitEdits(pt.Names, func(s int) *[]KeyEdit { return &out[s].Names })
+	return out
+}
+
+// filterOwned keeps the members of one shard, preserving order. It
+// returns nil when the shard owns none of them.
+func filterOwned(members []kb.EntityID, owners []int32, shard int32) []kb.EntityID {
+	var out []kb.EntityID
+	for _, id := range members {
+		if owners[id] == shard {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether the patch edits nothing and remaps nothing —
+// applying it would be the identity.
+func (pt PreparedPatch) IsEmpty() bool {
+	return len(pt.Tokens) == 0 && len(pt.Names) == 0 && pt.Remap == nil
+}
+
+// Cutoff returns the purging member-count limit for a KB of n
+// entities: max(EntityFraction*n, MinEntities, 1). Purge applies it
+// per side; sharded purging calls it directly because the per-shard
+// collections must be purged against the global member counts.
+func (cfg PurgeConfig) Cutoff(n int) int { return cutoff(n, cfg) }
+
+// ValidateSplit checks that subs look like an owner split of p: same
+// KB size, same name-K, and per-side key counts consistent with a
+// partition (every sub key exists in p). It guards snapshot loads that
+// re-derive a split against config drift.
+func ValidateSplit(p *Prepared, subs []*Prepared) error {
+	for s, sub := range subs {
+		if sub.n1 != p.n1 {
+			return fmt.Errorf("blocking: shard %d covers %d entities, substrate %d", s, sub.n1, p.n1)
+		}
+		if sub.nameK != p.nameK {
+			return fmt.Errorf("blocking: shard %d prepared with NameK=%d, substrate %d", s, sub.nameK, p.nameK)
+		}
+	}
+	return nil
+}

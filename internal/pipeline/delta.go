@@ -50,6 +50,11 @@ func PrepareSide(kb1 *kb.KB, p Params) *Prepared {
 type deltaSide struct {
 	prep *Prepared
 
+	// shards, when non-nil, marks a scatter-gather run over a sharded
+	// substrate (NewShardedDeltaState): the per-shard collections live
+	// there and the lazy side-1 fills route to the owning shard.
+	shards *shardRun
+
 	byE1 map[kb.EntityID][]int32 // set by DeltaBlockIndexing
 	rev2 [][]kb.EntityID         // delta-side reverse neighbors, set by DeltaNeighborCandidates
 
@@ -292,10 +297,24 @@ func (s *State) valueCands1At(e kb.EntityID) []Cand {
 	if cands, done := d.vc1[e]; done {
 		return cands
 	}
-	for _, bi := range d.byE1[e] {
-		w := s.Weights[bi]
-		for _, o := range s.TokenBlocks.Blocks[bi].E2 {
-			d.acc.add(int32(o), w)
+	if sr := d.shards; sr != nil {
+		// Sharded run: the entity's blocks all live on its owning
+		// shard, in the same ascending key order and with the same
+		// global weights the unsplit collection carries, so the routed
+		// accumulation is bit-identical.
+		sh := sr.sp.owners[e]
+		for _, bi := range sr.byE1[sh][e] {
+			w := sr.weights[sh][bi]
+			for _, o := range sr.tb[sh].Blocks[bi].E2 {
+				d.acc.add(int32(o), w)
+			}
+		}
+	} else {
+		for _, bi := range d.byE1[e] {
+			w := s.Weights[bi]
+			for _, o := range s.TokenBlocks.Blocks[bi].E2 {
+				d.acc.add(int32(o), w)
+			}
 		}
 	}
 	cands := d.acc.topK(s.Params.K)

@@ -1,0 +1,601 @@
+// Sharded prepared-side matching: scatter a delta across K
+// hash-partitioned sub-substrates of the left KB, probe and score each
+// shard independently, and gather the ranked candidates through
+// cross-shard merges that reconstruct — slot for slot and float for
+// float — the accumulation the single-substrate stages perform.
+//
+// The partition is by entity: owner(e) = parallel.ShardOf(URI(e), K),
+// so an entity's shard never changes across mutations (URIs are the
+// stable identity; IDs may be remapped). Each shard's postings keep
+// global entity IDs and report the global KB size, which makes the
+// merge arguments exact:
+//
+//   - Per-key evidence: a probed key's left members are the disjoint
+//     union of the per-shard postings, each ascending, so an
+//     ascending-ID merge reproduces the unsplit posting exactly. Purge
+//     cutoffs and ARCS weights are computed from the merged (global)
+//     member counts, never the per-shard ones.
+//   - Per-slot sums: a left entity's similarity accumulates only from
+//     blocks that contain it — all owned by its shard — iterated in
+//     the same ascending key order with the same global weights, so
+//     every float sum is bit-identical to the unsplit run's. Weights
+//     are strictly positive, so a shard's touched set is exactly the
+//     global touched set restricted to the shard.
+//   - Top-K gather: the ranking comparator (Sim desc, ID asc) is a
+//     total order and every global top-K candidate ranks within the
+//     top K of its own shard, so concatenating the per-shard top-K
+//     lists, re-sorting under the same comparator, and cutting to K
+//     yields the global list exactly. H3's rank aggregation and H4's
+//     reciprocity then run unchanged on merged evidence.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+)
+
+// ShardedPrepared is the scatter-gather substrate of a sharded index:
+// the unsplit prepared side plus K owner-restricted sub-substrates and
+// the owner-partitioned reverse-neighbor views the sharded neighbor
+// stage scatters over.
+type ShardedPrepared struct {
+	base   *Prepared
+	subs   []*blocking.Prepared
+	owners []int32
+	// revBy[s][x] is Neighbors.RevLists()[x] restricted to entities
+	// owned by shard s, in the same (ascending) order.
+	revBy [][][]kb.EntityID
+}
+
+// ShardOwners assigns every entity of the KB to one of k shards by the
+// stable FNV-1a hash of its URI. The assignment is independent of
+// entity IDs, so it survives ID remaps: a mutated epoch recomputes it
+// and every surviving entity lands on the same shard.
+func ShardOwners(kb1 *kb.KB, k int) []int32 {
+	owners := make([]int32, kb1.Len())
+	if k <= 1 {
+		return owners
+	}
+	_ = parallel.For(context.Background(), kb1.Len(), parallel.Workers(0), func(_, start, end int) error {
+		for e := start; e < end; e++ {
+			owners[e] = int32(parallel.ShardOf(kb1.URI(kb.EntityID(e)), k))
+		}
+		return nil
+	})
+	return owners
+}
+
+// ShardSide splits a prepared side into k owner-restricted
+// sub-substrates. k = 1 shares the substrate outright.
+func ShardSide(base *Prepared, k int) (*ShardedPrepared, error) {
+	if base == nil || base.Blocks == nil || base.Neighbors == nil {
+		return nil, errors.New("pipeline: sharding requires a prepared side (PrepareSide)")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("pipeline: shard count %d out of range (need >= 1)", k)
+	}
+	owners := ShardOwners(base.Neighbors.KB(), k)
+	var subs []*blocking.Prepared
+	if k == 1 {
+		subs = []*blocking.Prepared{base.Blocks}
+	} else {
+		subs = base.Blocks.SplitByOwner(owners, k)
+	}
+	return ShardedFromParts(base, subs, owners)
+}
+
+// ShardedFromParts assembles a sharded substrate from already-split
+// parts — the epoch-maintenance path, where the sub-substrates are
+// patched incrementally and only the reverse-neighbor partition needs
+// re-deriving. The parts must be an owner split of base.
+func ShardedFromParts(base *Prepared, subs []*blocking.Prepared, owners []int32) (*ShardedPrepared, error) {
+	if base == nil || base.Blocks == nil || base.Neighbors == nil {
+		return nil, errors.New("pipeline: sharding requires a prepared side (PrepareSide)")
+	}
+	if len(subs) == 0 {
+		return nil, errors.New("pipeline: sharded substrate needs at least one shard")
+	}
+	if len(owners) != base.Neighbors.KB().Len() {
+		return nil, fmt.Errorf("pipeline: owner map covers %d entities, KB has %d", len(owners), base.Neighbors.KB().Len())
+	}
+	if err := blocking.ValidateSplit(base.Blocks, subs); err != nil {
+		return nil, err
+	}
+	sp := &ShardedPrepared{base: base, subs: subs, owners: owners}
+	rev := base.Neighbors.RevLists()
+	if len(subs) == 1 {
+		sp.revBy = [][][]kb.EntityID{rev}
+		return sp, nil
+	}
+	sp.revBy = make([][][]kb.EntityID, len(subs))
+	for s := range sp.revBy {
+		sp.revBy[s] = make([][]kb.EntityID, len(rev))
+	}
+	for x, lst := range rev {
+		for _, e1 := range lst {
+			s := owners[e1]
+			sp.revBy[s][x] = append(sp.revBy[s][x], e1)
+		}
+	}
+	return sp, nil
+}
+
+// Shards returns the shard count K.
+func (sp *ShardedPrepared) Shards() int { return len(sp.subs) }
+
+// Base returns the unsplit prepared side the shards were derived from.
+func (sp *ShardedPrepared) Base() *Prepared { return sp.base }
+
+// Subs returns the K owner-restricted sub-substrates.
+func (sp *ShardedPrepared) Subs() []*blocking.Prepared { return sp.subs }
+
+// Owners returns the entity-to-shard assignment.
+func (sp *ShardedPrepared) Owners() []int32 { return sp.owners }
+
+// shardRun is the per-run scatter state of a sharded delta run: the
+// per-shard probed, purged, weighted, and indexed collections. Stages
+// fill it in plan order; the lazy side-1 candidate fills route through
+// it by owner.
+type shardRun struct {
+	sp *ShardedPrepared
+
+	raw      []*blocking.Collection    // per-shard raw probed token blocks
+	tb       []*blocking.Collection    // per-shard purged token blocks
+	globalE1 [][]int32                 // per purged block: global left member count
+	weights  [][]float64               // per purged block: global ARCS weight
+	byE1     []map[kb.EntityID][]int32 // per-shard sparse left index
+	byE2     [][][]int32               // per-shard delta-side index
+}
+
+// NewShardedDeltaState prepares the blackboard for one scatter-gather
+// run of a delta KB against a sharded substrate, under the same
+// preconditions as NewDeltaState.
+func NewShardedDeltaState(sp *ShardedPrepared, delta *kb.KB, p Params) (*State, error) {
+	if sp == nil {
+		return nil, errors.New("pipeline: sharded delta state requires a sharded substrate (ShardSide)")
+	}
+	st, err := NewDeltaState(sp.base, delta, p)
+	if err != nil {
+		return nil, err
+	}
+	st.delta.shards = &shardRun{sp: sp}
+	return st, nil
+}
+
+// ShardedDeltaPlan returns the scatter-gather counterpart of
+// DeltaPlan. Every stage keeps its standard name, so ablation drops
+// and progress reporting work identically; the matching heuristics are
+// the very same stages the full and delta plans run, operating on the
+// merged cross-shard evidence.
+func ShardedDeltaPlan() []Stage {
+	return []Stage{
+		ShardProbeNameBlocking(),
+		ShardProbeTokenBlocking(),
+		ShardBlockPurging(),
+		ShardBlockIndexing(),
+		ShardTokenWeighting(),
+		ShardValueCandidates(),
+		ShardNeighborCandidates(),
+		NameMatching(),
+		ValueMatching(),
+		RankAggregation(),
+		Union(),
+		Reciprocity(),
+	}
+}
+
+// errNotSharded guards the sharded stages against unsharded states.
+var errNotSharded = errors.New("requires a sharded state (build it with NewShardedDeltaState)")
+
+func (s *State) shardRun() (*shardRun, error) {
+	if s.delta == nil || s.delta.shards == nil {
+		return nil, errNotSharded
+	}
+	return s.delta.shards, nil
+}
+
+// probeShards probes every sub-substrate with the delta in parallel.
+func probeShards(ctx context.Context, sr *shardRun, workers int, probe func(sub *blocking.Prepared) (*blocking.Collection, error)) ([]*blocking.Collection, error) {
+	cols := make([]*blocking.Collection, len(sr.sp.subs))
+	err := parallelFor(ctx, len(sr.sp.subs), workers, func(_, start, end int) error {
+		for s := start; s < end; s++ {
+			c, err := probe(sr.sp.subs[s])
+			if err != nil {
+				return err
+			}
+			cols[s] = c
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// shardKeyWalk iterates the union of the keys of k key-sorted
+// collections in ascending key order, calling fn once per key with the
+// per-shard blocks (nil entries for shards missing the key).
+func shardKeyWalk(cols []*blocking.Collection, fn func(key string, parts []*blocking.Block)) {
+	k := len(cols)
+	idx := make([]int, k)
+	parts := make([]*blocking.Block, k)
+	for {
+		min := ""
+		found := false
+		for s := 0; s < k; s++ {
+			if idx[s] >= len(cols[s].Blocks) {
+				continue
+			}
+			key := cols[s].Blocks[idx[s]].Key
+			if !found || key < min {
+				min, found = key, true
+			}
+		}
+		if !found {
+			return
+		}
+		for s := 0; s < k; s++ {
+			parts[s] = nil
+			if idx[s] < len(cols[s].Blocks) && cols[s].Blocks[idx[s]].Key == min {
+				parts[s] = &cols[s].Blocks[idx[s]]
+				idx[s]++
+			}
+		}
+		fn(min, parts)
+	}
+}
+
+// mergeMembers merges disjoint ascending member lists into one
+// ascending list, sharing the slice when only one shard contributes.
+func mergeMembers(parts []*blocking.Block, side func(*blocking.Block) []kb.EntityID) []kb.EntityID {
+	var single []kb.EntityID
+	contributors, total := 0, 0
+	for _, p := range parts {
+		if p == nil || len(side(p)) == 0 {
+			continue
+		}
+		contributors++
+		single = side(p)
+		total += len(side(p))
+	}
+	if contributors <= 1 {
+		return single
+	}
+	out := make([]kb.EntityID, 0, total)
+	for _, p := range parts {
+		if p != nil {
+			out = append(out, side(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShardProbeNameBlocking builds B_N by probing every shard's name
+// postings with the delta's name keys and merging the per-shard blocks
+// into the global collection H1 consumes — bit-identical to the
+// unsplit probe, because a key's left members are the disjoint union
+// of the per-shard postings.
+func ShardProbeNameBlocking() Stage {
+	return newStage(StageNameBlocking, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		cols, err := probeShards(ctx, sr, st.Params.workers(), func(sub *blocking.Prepared) (*blocking.Collection, error) {
+			return sub.ProbeNameBlocks(ctx, st.KB2)
+		})
+		if err != nil {
+			return err
+		}
+		merged := blocking.NewCollection(st.KB1.Len(), st.KB2.Len())
+		shardKeyWalk(cols, func(key string, parts []*blocking.Block) {
+			e1 := mergeMembers(parts, func(b *blocking.Block) []kb.EntityID { return b.E1 })
+			var e2 []kb.EntityID
+			for _, p := range parts {
+				if p != nil {
+					e2 = p.E2
+					break
+				}
+			}
+			merged.Blocks = append(merged.Blocks, blocking.Block{Key: key, E1: e1, E2: e2})
+		})
+		st.NameBlocks = merged
+		st.NameBlockCount = merged.Size()
+		st.NameComparisons = merged.Comparisons()
+		return nil
+	})
+}
+
+// ShardProbeTokenBlocking probes every shard's token postings with the
+// delta's tokens, keeping the collections per shard — the scatter half
+// of token blocking. Purging merges their statistics.
+func ShardProbeTokenBlocking() Stage {
+	return newStage(StageTokenBlocking, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		sr.raw, err = probeShards(ctx, sr, st.Params.workers(), func(sub *blocking.Prepared) (*blocking.Collection, error) {
+			return sub.ProbeTokenBlocks(ctx, st.KB2)
+		})
+		return err
+	})
+}
+
+// ShardBlockPurging purges the per-shard token collections against the
+// global member counts: a key survives iff the sum of its per-shard
+// left members and its delta members both stay within the cutoffs the
+// unsplit collection would see. Surviving blocks stay per shard (in
+// key order) with their global left count recorded for weighting;
+// the purge statistics count distinct keys, exactly as the unsplit
+// stage reports them.
+func ShardBlockPurging() Stage {
+	return newStage(StageBlockPurging, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		if sr.raw == nil {
+			return errors.New("requires token blocks (run " + StageTokenBlocking + " first)")
+		}
+		cut1 := st.Params.Purge.Cutoff(st.KB1.Len())
+		cut2 := st.Params.Purge.Cutoff(st.KB2.Len())
+		k := len(sr.raw)
+		sr.tb = make([]*blocking.Collection, k)
+		sr.globalE1 = make([][]int32, k)
+		for s := 0; s < k; s++ {
+			sr.tb[s] = blocking.NewCollection(st.KB1.Len(), st.KB2.Len())
+		}
+		res := blocking.PurgeResult{Cutoff1: cut1, Cutoff2: cut2}
+		var blockCount int
+		var comparisons int64
+		shardKeyWalk(sr.raw, func(key string, parts []*blocking.Block) {
+			g1, e2len := 0, 0
+			for _, p := range parts {
+				if p == nil {
+					continue
+				}
+				g1 += len(p.E1)
+				e2len = len(p.E2)
+			}
+			if g1 > cut1 || e2len > cut2 {
+				res.RemovedBlocks++
+				res.RemovedComparisons += int64(g1) * int64(e2len)
+				return
+			}
+			blockCount++
+			comparisons += int64(g1) * int64(e2len)
+			for s, p := range parts {
+				if p == nil {
+					continue
+				}
+				sr.tb[s].Blocks = append(sr.tb[s].Blocks, *p)
+				sr.globalE1[s] = append(sr.globalE1[s], int32(g1))
+			}
+		})
+		sr.raw = nil
+		st.PurgeStats = res
+		st.TokenBlockCount = blockCount
+		st.TokenComparisons = comparisons
+		return nil
+	})
+}
+
+// ShardBlockIndexing indexes each shard's purged collection: the delta
+// side fully (it drives the scatter), the left side as a sparse map
+// for the lazy side-1 fills, which route to the owning shard.
+func ShardBlockIndexing() Stage {
+	return newStage(StageBlockIndexing, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		if sr.tb == nil {
+			return errors.New("requires purged token blocks (run " + StageBlockPurging + " first)")
+		}
+		k := len(sr.tb)
+		sr.byE2 = make([][][]int32, k)
+		sr.byE1 = make([]map[kb.EntityID][]int32, k)
+		return parallelFor(ctx, k, st.Params.workers(), func(_, start, end int) error {
+			for s := start; s < end; s++ {
+				sr.byE2[s] = sr.tb[s].BuildIndexSide2()
+				sr.byE1[s] = sr.tb[s].BuildIndexSide1Sparse()
+			}
+			return nil
+		})
+	})
+}
+
+// ShardTokenWeighting assigns every surviving per-shard block the ARCS
+// weight of its key, computed from the global member counts — the same
+// float expression the unsplit stage evaluates.
+func ShardTokenWeighting() Stage {
+	return newStage(StageTokenWeighting, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		if sr.tb == nil {
+			return errors.New("requires purged token blocks (run " + StageBlockPurging + " first)")
+		}
+		sr.weights = make([][]float64, len(sr.tb))
+		for s, c := range sr.tb {
+			w := make([]float64, len(c.Blocks))
+			for bi := range c.Blocks {
+				w[bi] = 1 / math.Log2(float64(sr.globalE1[s][bi])*float64(len(c.Blocks[bi].E2))+1)
+			}
+			sr.weights[s] = w
+		}
+		return nil
+	})
+}
+
+// mergeTopK merges per-shard top-K candidate lists into the global
+// top-K: the per-slot sums are identical and every global top-K member
+// survives its own shard's cut, so sorting the union under the same
+// comparator and cutting to k reproduces the unsplit list exactly
+// (nil when no shard contributes).
+func mergeTopK(parts [][]Cand, k int) []Cand {
+	total := 0
+	var single []Cand
+	contributors := 0
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		contributors++
+		single = p
+		total += len(p)
+	}
+	if contributors == 0 {
+		return nil
+	}
+	if contributors == 1 {
+		return single
+	}
+	all := make([]Cand, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Sim != all[j].Sim {
+			return all[i].Sim > all[j].Sim
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k < len(all) {
+		all = all[:k:k]
+	}
+	return all
+}
+
+// ShardValueCandidates is the scatter-gather value stage: every shard
+// accumulates the delta's value similarity over its own blocks (the
+// same per-slot sums the unsplit stage computes, because an entity's
+// blocks all live on its shard), then the per-shard rankings merge
+// into the global top-K per delta entity.
+func ShardValueCandidates() Stage {
+	return newStage(StageValueCandidates, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		if sr.byE2 == nil {
+			return errors.New("requires the token-block index (run " + StageBlockIndexing + " first)")
+		}
+		if sr.weights == nil {
+			return errors.New("requires token weights (run " + StageTokenWeighting + " first)")
+		}
+		k := len(sr.tb)
+		n1, n2 := st.KB1.Len(), st.KB2.Len()
+		perShard := make([][][]Cand, k)
+		err = parallelFor(ctx, k, st.Params.workers(), func(_, start, end int) error {
+			for s := start; s < end; s++ {
+				out := make([][]Cand, n2)
+				acc := newAccumulator(n1)
+				for e := 0; e < n2; e++ {
+					if e%cancelCheckStride == 0 && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					for _, bi := range sr.byE2[s][e] {
+						w := sr.weights[s][bi]
+						for _, o := range sr.tb[s].Blocks[bi].E1 {
+							acc.add(int32(o), w)
+						}
+					}
+					out[e] = acc.topK(st.Params.K)
+					acc.reset()
+				}
+				perShard[s] = out
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		merged := make([][]Cand, n2)
+		parts := make([][]Cand, k)
+		for e := 0; e < n2; e++ {
+			for s := 0; s < k; s++ {
+				parts[s] = perShard[s][e]
+			}
+			merged[e] = mergeTopK(parts, st.Params.K)
+		}
+		st.ValueCands2 = merged
+		st.delta.vcDone = true
+		return nil
+	})
+}
+
+// ShardNeighborCandidates is the scatter-gather neighbor stage: every
+// shard aggregates the delta's neighbor similarity through its own
+// partition of the frozen reverse-neighbor view (the merged value
+// candidates are shared, so the evidence per slot is global), then the
+// per-shard rankings merge into the global top-K per delta entity.
+func ShardNeighborCandidates() Stage {
+	return newStage(StageNeighborCandidates, func(ctx context.Context, st *State) error {
+		sr, err := st.shardRun()
+		if err != nil {
+			return err
+		}
+		if !st.delta.vcDone {
+			return errors.New("requires value candidates (run " + StageValueCandidates + " first)")
+		}
+		top2 := topNeighborLists(st.KB2, st.Params.N)
+		rev2 := reverseNeighborIndex(top2, st.KB2.Len())
+		vc2 := st.ValueCands2
+		k := len(sr.sp.subs)
+		n1, n2 := st.KB1.Len(), st.KB2.Len()
+		perShard := make([][][]Cand, k)
+		err = parallelFor(ctx, k, st.Params.workers(), func(_, start, end int) error {
+			for s := start; s < end; s++ {
+				revS := sr.sp.revBy[s]
+				out := make([][]Cand, n2)
+				acc := newAccumulator(n1)
+				for e := 0; e < n2; e++ {
+					if e%cancelCheckStride == 0 && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					for _, nej := range top2[e] {
+						for _, cand := range vc2[nej] {
+							if cand.Sim <= 0 {
+								continue
+							}
+							for _, e1 := range revS[cand.ID] {
+								acc.add(int32(e1), cand.Sim)
+							}
+						}
+					}
+					out[e] = acc.topK(st.Params.K)
+					acc.reset()
+				}
+				perShard[s] = out
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		merged := make([][]Cand, n2)
+		parts := make([][]Cand, k)
+		for e := 0; e < n2; e++ {
+			for s := 0; s < k; s++ {
+				parts[s] = perShard[s][e]
+			}
+			merged[e] = mergeTopK(parts, st.Params.K)
+		}
+		st.NeighborCands2 = merged
+		st.delta.rev2 = rev2
+		st.delta.ncDone = true
+		return nil
+	})
+}

@@ -1,0 +1,58 @@
+// Epoch maintenance of a sharded index's sub-substrates. The owner
+// partition is by URI hash, so surviving entities never migrate across
+// shards: a mutation's substrate patch splits cleanly into per-shard
+// parts that touch only the shards owning mutated entities, and those
+// parts apply concurrently — writers against different shards no
+// longer contend on one inverted index.
+package pipeline
+
+import (
+	"context"
+
+	"minoaner/internal/blocking"
+)
+
+// updateShardSubs carries the owner-restricted sub-substrates of the
+// previous epoch into the next one, as part of UpdateNameBlocking
+// (which already derived the side-1 patch). A side-2 mutation shares
+// them untouched; a side-1 mutation applies the owner-split patch per
+// shard, in parallel, leaving shards without owned edits
+// pointer-shared. The name-rebuild fallback (stable1 == false)
+// re-splits the rebuilt substrate wholesale, mirroring what it does to
+// the unsplit name postings.
+func updateShardSubs(st *State, u *updateSide, stable1 bool) {
+	prevSubs := u.prev.ShardSubs
+	if prevSubs == nil {
+		return
+	}
+	k := len(prevSubs)
+	if u.d1.Identity {
+		u.next.ShardSubs = prevSubs
+		u.next.ShardOwners = u.prev.ShardOwners
+		return
+	}
+	owners := ShardOwners(st.KB1, k)
+	u.next.ShardOwners = owners
+	if k == 1 {
+		// The single shard is the substrate itself.
+		u.next.ShardSubs = []*blocking.Prepared{u.next.Prep1}
+		return
+	}
+	if !stable1 {
+		u.next.ShardSubs = u.next.Prep1.SplitByOwner(owners, k)
+		return
+	}
+	parts := blocking.SplitPatchByOwner(u.pt1, owners, k)
+	subs := make([]*blocking.Prepared, k)
+	_ = parallelFor(context.Background(), k, st.Params.workers(), func(_, start, end int) error {
+		for s := start; s < end; s++ {
+			if parts[s].IsEmpty() {
+				subs[s] = prevSubs[s]
+			} else {
+				subs[s] = prevSubs[s].ApplyPatch(parts[s])
+			}
+		}
+		return nil
+	})
+	u.next.ShardSubs = subs
+}

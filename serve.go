@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -23,6 +25,10 @@ import (
 //	GET  /healthz              liveness: {"status":"ok"}
 //	GET  /stats                IndexStats, epoch, journal length, and
 //	                           per-endpoint request/latency counters
+//	GET  /metrics              the same counters in Prometheus text
+//	                           exposition format (requests, errors,
+//	                           latency totals per route; epoch, journal
+//	                           length, shard count, match/block gauges)
 //	GET  /resolve?uri=U&uri=V  per-URI match lookup
 //	POST /resolve              same, URIs from JSON {"uris": [...]}
 //	POST /delta?name=N&lenient=1
@@ -63,8 +69,9 @@ func WithMutations() ServerOption {
 	return func(s *server) { s.mutable = true }
 }
 
-// serveRoutes are the instrumented endpoint labels.
-var serveRoutes = []string{"healthz", "stats", "resolve", "delta", "upsert", "delete", "other"}
+// serveRoutes are the instrumented endpoint labels, in the order the
+// /metrics exposition lists them.
+var serveRoutes = []string{"healthz", "stats", "metrics", "resolve", "delta", "upsert", "delete", "other"}
 
 // NewServer returns an http.Handler serving resolution queries over the
 // index. It prepares the index's delta substrate (see Index.Prepare) if
@@ -81,6 +88,7 @@ func NewServer(ix *Index, opts ...ServerOption) http.Handler {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /resolve", s.handleResolveGet)
 	s.mux.HandleFunc("POST /resolve", s.handleResolvePost)
 	s.mux.HandleFunc("POST /delta", s.handleDelta)
@@ -96,6 +104,8 @@ func routeLabel(path string) string {
 		return "healthz"
 	case "/stats":
 		return "stats"
+	case "/metrics":
+		return "metrics"
 	case "/resolve":
 		return "resolve"
 	case "/delta":
@@ -186,6 +196,8 @@ type statsJSON struct {
 	NameComparisons        int64                        `json:"name_comparisons"`
 	TokenComparisons       int64                        `json:"token_comparisons"`
 	PurgedBlocks           int                          `json:"purged_blocks"`
+	Shards                 int                          `json:"shards"`
+	Sharded                bool                         `json:"sharded"`
 	Endpoints              map[string]endpointStatsJSON `json:"endpoints"`
 }
 
@@ -233,8 +245,68 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NameComparisons:        st.NameComparisons,
 		TokenComparisons:       st.TokenComparisons,
 		PurgedBlocks:           st.PurgedBlocks,
+		Shards:                 st.Shards,
+		Sharded:                e.sharded != nil,
 		Endpoints:              endpoints,
 	})
+}
+
+// handleMetrics exposes the traffic counters and index gauges in
+// Prometheus text exposition format. Routes are listed in serveRoutes
+// order, so the output is deterministic for a given traffic state.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	e := s.ix.cur.Load()
+	st := s.ix.statsOf(e)
+	var b strings.Builder
+	b.WriteString("# HELP minoaner_requests_total Requests served, by route.\n")
+	b.WriteString("# TYPE minoaner_requests_total counter\n")
+	for _, route := range serveRoutes {
+		fmt.Fprintf(&b, "minoaner_requests_total{route=%q} %d\n", route, s.metrics[route].requests.Load())
+	}
+	b.WriteString("# HELP minoaner_request_errors_total Requests answered with status >= 400, by route.\n")
+	b.WriteString("# TYPE minoaner_request_errors_total counter\n")
+	for _, route := range serveRoutes {
+		fmt.Fprintf(&b, "minoaner_request_errors_total{route=%q} %d\n", route, s.metrics[route].errors.Load())
+	}
+	b.WriteString("# HELP minoaner_request_duration_microseconds_total Cumulative request wall time, by route.\n")
+	b.WriteString("# TYPE minoaner_request_duration_microseconds_total counter\n")
+	for _, route := range serveRoutes {
+		fmt.Fprintf(&b, "minoaner_request_duration_microseconds_total{route=%q} %d\n", route, s.metrics[route].totalMicros.Load())
+	}
+	sharded := 0
+	if e.sharded != nil {
+		sharded = 1
+	}
+	mutable := 0
+	if s.mutable && s.ix.Mutable() {
+		mutable = 1
+	}
+	gauges := []struct {
+		name, help string
+		value      int64
+	}{
+		{"minoaner_epoch", "Current index epoch (0 = fresh build, +1 per absorbed mutation).", int64(st.Epoch)},
+		{"minoaner_journal_length", "Mutation journal entries since the last compaction.", int64(st.JournalLength)},
+		{"minoaner_shards", "Configured shard count of the index substrate (1 = unsharded).", int64(st.Shards)},
+		{"minoaner_sharded_active", "Whether scatter-gather resolution is active (partitioned substrate derived).", int64(sharded)},
+		{"minoaner_mutable", "Whether this server accepts /upsert and /delete.", int64(mutable)},
+		{"minoaner_matches", "Resolved match pairs in the current epoch.", int64(st.Matches)},
+		{"minoaner_kb1_entities", "Entities in the first indexed KB.", int64(st.KB1.Entities)},
+		{"minoaner_kb2_entities", "Entities in the second indexed KB.", int64(st.KB2.Entities)},
+		{"minoaner_name_blocks", "Name blocks (|B_N|).", int64(st.NameBlocks)},
+		{"minoaner_token_blocks", "Token blocks after purging (|B_T|).", int64(st.TokenBlocks)},
+		{"minoaner_name_comparisons", "Name block comparisons (||B_N||).", st.NameComparisons},
+		{"minoaner_token_comparisons", "Token block comparisons after purging (||B_T||).", st.TokenComparisons},
+		{"minoaner_purged_blocks", "Token blocks removed by Block Purging.", int64(st.PurgedBlocks)},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+	if s.mutable {
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
 }
 
 // matchJSON is one resolved pair.

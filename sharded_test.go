@@ -1,0 +1,376 @@
+package minoaner_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"minoaner"
+)
+
+// queryDelta cuts a small delta KB out of the side-2 document (the
+// descriptions of one entity plus a fresh one linking into the KB).
+func queryDelta(t *testing.T, d2 *ntDoc, uri string) *minoaner.KB {
+	t.Helper()
+	lines := append([]string(nil), d2.linesOf(uri)...)
+	lines = append(lines,
+		fmt.Sprintf("<http://shard/probe> <http://mut/name> \"probe entity kappa\" ."),
+		fmt.Sprintf("<http://shard/probe> <http://mut/link> %s .", subjectToken(uri)))
+	k, err := minoaner.LoadKB("qdelta", strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// assertShardedEquivalent compares a sharded index against an
+// unsharded reference over the same KBs: match set, stats (modulo the
+// shard count itself), point queries, and the scatter-gather delta
+// path against the single-substrate one.
+func assertShardedEquivalent(t *testing.T, label string, sharded, ref *minoaner.Index, delta *minoaner.KB) {
+	t.Helper()
+	if got, want := sharded.Matches(), ref.Matches(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: matches diverge (%d vs %d)", label, len(got), len(want))
+	}
+	gs, ws := sharded.Stats(), ref.Stats()
+	ws.Shards = gs.Shards
+	ws.Epoch, ws.JournalLength = gs.Epoch, gs.JournalLength
+	if gs != ws {
+		t.Fatalf("%s: stats diverge:\n got %+v\nwant %+v", label, gs, ws)
+	}
+	var sample []string
+	for _, uris := range [][]string{sharded.KB1().URIs(), sharded.KB2().URIs()} {
+		for i := 0; i < len(uris); i += 1 + len(uris)/13 {
+			sample = append(sample, uris[i])
+		}
+	}
+	if !reflect.DeepEqual(sharded.Query(sample...), ref.Query(sample...)) {
+		t.Fatalf("%s: Query diverges", label)
+	}
+	got, err := sharded.QueryKBFast(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.QueryKBFast(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("%s: QueryKB diverges: %v vs %v", label, got.Matches, want.Matches)
+	}
+}
+
+// TestShardedIndexEquivalence is the headline sharding invariant at the
+// public API: an index built with WithShards(k) answers bit-identically
+// to the unsharded index on all four benchmarks, for every combination
+// of shards 1/2/4/8 and workers 1/4.
+func TestShardedIndexEquivalence(t *testing.T) {
+	for _, name := range minoaner.BenchmarkNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := minoaner.GenerateBenchmark(name, 42, 0.08)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2 := docFromKB(t, b.WriteKB2)
+			delta := queryDelta(t, d2, b.KB2.URIs()[b.KB2.Len()/2])
+			for _, workers := range []int{1, 4} {
+				cfg := minoaner.DefaultConfig()
+				cfg.Workers = workers
+				ref, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{1, 2, 4, 8} {
+					ix, err := minoaner.BuildIndexSharded(b.KB1, b.KB2, cfg, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ix.Prepare()
+					if got := ix.Shards(); got != shards {
+						t.Fatalf("Shards() = %d, want %d", got, shards)
+					}
+					if ix.Sharded() != (shards > 1) {
+						t.Fatalf("Sharded() = %v with %d shards", ix.Sharded(), shards)
+					}
+					assertShardedEquivalent(t, fmt.Sprintf("%s shards=%d workers=%d", name, shards, workers), ix, ref, delta)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMutationEquivalence drives a mutation storm through a
+// sharded index — upserts and deletes on both sides, so shard
+// substrates get patched, re-owned, and rebuilt — and checks every
+// answer stays bit-identical to an unsharded index absorbing the same
+// storm, and to a from-scratch rebuild.
+func TestShardedMutationEquivalence(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			t.Parallel()
+			for _, workers := range []int{1, 4} {
+				b, err := minoaner.GenerateBenchmark("Restaurant", 42, 0.15)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := minoaner.DefaultConfig()
+				cfg.Workers = workers
+				ix, err := minoaner.BuildIndexSharded(b.KB1, b.KB2, cfg, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d1 := docFromKB(t, b.WriteKB1)
+				d2 := docFromKB(t, b.WriteKB2)
+				d1ref := docFromKB(t, b.WriteKB1)
+				d2ref := docFromKB(t, b.WriteKB2)
+
+				// Two identical pseudo-random streams drive both indexes
+				// through the same storm, side 1 included (side-1 mutations
+				// are the ones that patch the owner shards).
+				seed := int64(shards*100 + workers)
+				rngA := rand.New(rand.NewSource(seed))
+				rngB := rand.New(rand.NewSource(seed))
+				for round := 0; round < 8; round++ {
+					side := 2
+					if round%3 == 0 {
+						side = 1
+					}
+					docA, curA, docB, curB := d2, ix.KB2(), d2ref, ref.KB2()
+					if side == 1 {
+						docA, curA, docB, curB = d1, ix.KB1(), d1ref, ref.KB1()
+					}
+					mutationStep(t, rngA, ix, side, docA, curA, round)
+					mutationStep(t, rngB, ref, side, docB, curB, round)
+				}
+				if !ix.Sharded() {
+					t.Fatal("mutated index lost its sharded substrate")
+				}
+				label := fmt.Sprintf("storm shards=%d workers=%d", shards, workers)
+				delta := queryDelta(t, d2, ix.KB2().URIs()[0])
+				assertShardedEquivalent(t, label, ix, ref, delta)
+				assertRebuildEquivalent(t, label+" vs rebuild", ix, d1, d2, cfg)
+
+				// Compact flattens the per-shard overlays too.
+				ix.Compact()
+				assertShardedEquivalent(t, label+" post-compact", ix, ref, delta)
+			}
+		})
+	}
+}
+
+// TestReshardLive re-partitions a prepared, mutated index in place:
+// every shard count must answer identically, including back to
+// unsharded.
+func TestReshardLive(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("Restaurant", 17, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := minoaner.DefaultConfig()
+	ix, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := docFromKB(t, b.WriteKB2)
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 3; round++ {
+		mutationStep(t, rng, ix, 2, d2, ix.KB2(), round)
+	}
+	// Mirror the mutated side-2 document onto the reference.
+	kb2 := d2.kb(t, "kb2")
+	if err := ref.Upsert(context.Background(), 2, kb2); err != nil {
+		t.Fatal(err)
+	}
+	if deleted := missingURIs(ref.KB2().URIs(), kb2.URIs()); len(deleted) > 0 {
+		if err := ref.Delete(context.Background(), 2, deleted...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := queryDelta(t, d2, ix.KB2().URIs()[1])
+	for _, k := range []int{4, 2, 8, 1} {
+		if err := ix.Reshard(k); err != nil {
+			t.Fatal(err)
+		}
+		if got := ix.Shards(); got != k {
+			t.Fatalf("Shards() = %d after Reshard(%d)", got, k)
+		}
+		assertShardedEquivalent(t, fmt.Sprintf("reshard %d", k), ix, ref, delta)
+	}
+	if err := ix.Reshard(0); err == nil {
+		t.Fatal("Reshard(0) accepted")
+	}
+}
+
+// missingURIs lists the URIs of have that are absent from keep.
+func missingURIs(have, keep []string) []string {
+	set := make(map[string]bool, len(keep))
+	for _, u := range keep {
+		set[u] = true
+	}
+	var out []string
+	for _, u := range have {
+		if !set[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TestShardedSnapshotRoundTrip: the shard count persists (section 10),
+// the reloaded index resumes scatter-gather resolution, re-saving is
+// bit-identical, and pre-sharding snapshots keep loading as unsharded.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("Restaurant", 23, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := minoaner.DefaultConfig()
+	ix, err := minoaner.BuildIndexSharded(b.KB1, b.KB2, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Prepare()
+	d2 := docFromKB(t, b.WriteKB2)
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 3; round++ {
+		mutationStep(t, rng, ix, 2, d2, ix.KB2(), round)
+	}
+
+	var first bytes.Buffer
+	if err := minoaner.SaveIndex(&first, ix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := minoaner.LoadIndex(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Shards(); got != 4 {
+		t.Fatalf("reloaded Shards() = %d, want 4", got)
+	}
+	if !back.Sharded() {
+		t.Fatal("reloaded index did not re-derive the partitioned substrate")
+	}
+	delta := queryDelta(t, d2, ix.KB2().URIs()[2])
+	assertShardedEquivalent(t, "reloaded", back, ix, delta)
+	var second bytes.Buffer
+	if err := minoaner.SaveIndex(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("sharded snapshot not bit-identical after reload (%d vs %d bytes)", first.Len(), second.Len())
+	}
+
+	// An unsharded snapshot has no sharding section and loads as K=1.
+	plain, err := minoaner.BuildIndex(b.KB1, b.KB2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := minoaner.SaveIndex(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := minoaner.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Shards(); got != 1 {
+		t.Fatalf("unsharded snapshot loaded with Shards() = %d", got)
+	}
+	if pb.Sharded() {
+		t.Fatal("unsharded snapshot claims a partitioned substrate")
+	}
+}
+
+// TestShardedConcurrentMutationStorm hammers a sharded mutable index:
+// 12 goroutines run scatter-gather deltas, point queries, and stats
+// against all shards while a storm mutates side 1 — patching the owner
+// shards — and side 2, with a mid-storm Compact and Reshard. Run under
+// -race; the epoch swap must keep every response torn-free.
+func TestShardedConcurrentMutationStorm(t *testing.T) {
+	b, err := minoaner.GenerateBenchmark("Restaurant", 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := minoaner.DefaultConfig()
+	cfg.Workers = 2
+	ix, err := minoaner.BuildIndexSharded(b.KB1, b.KB2, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Prepare()
+	if !ix.Sharded() {
+		t.Fatal("prepared sharded index reports no partitioned substrate")
+	}
+	d1 := docFromKB(t, b.WriteKB1)
+	d2 := docFromKB(t, b.WriteKB2)
+	uris2 := ix.KB2().URIs()
+	delta := queryDelta(t, d2, uris2[0])
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := ix.QueryKB(context.Background(), delta); err != nil {
+						t.Errorf("QueryKB: %v", err)
+						return
+					}
+				case 1:
+					res := ix.Query(uris2[(g*29+i)%len(uris2)])
+					if len(res) != 1 {
+						t.Errorf("query returned %d results", len(res))
+						return
+					}
+				default:
+					_ = ix.Stats()
+					_ = ix.Shards()
+				}
+			}
+		}(g)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 12; round++ {
+		side, doc, cur := 2, d2, ix.KB2()
+		if round%2 == 0 {
+			side, doc, cur = 1, d1, ix.KB1()
+		}
+		mutationStep(t, rng, ix, side, doc, cur, round)
+		switch round {
+		case 5:
+			ix.Compact()
+		case 8:
+			if err := ix.Reshard(2); err != nil {
+				t.Errorf("Reshard: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	assertRebuildEquivalent(t, "post-storm", ix, d1, d2, cfg)
+}

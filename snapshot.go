@@ -50,6 +50,15 @@ import (
 //	                          persist the *mutated* state in sections
 //	                          1-8, so readers that skip this section
 //	                          still serve correct matches.
+//	section 10 (sharding):    shard count and the per-shard owned-entity
+//	                          counts of the URI-hash partition. Written
+//	                          only for sharded indexes (K > 1); the
+//	                          partition itself is re-derived
+//	                          deterministically on load and checked
+//	                          against the recorded counts. Readers that
+//	                          skip this section (or snapshots from
+//	                          before it) load as K = 1 — unsharded, with
+//	                          identical answers.
 //
 // Compatibility promise: a reader accepts exactly the format versions
 // it names (currently 1), skips unknown section IDs within them, and
@@ -75,6 +84,7 @@ const (
 	snapMatches     = 7
 	snapPrepared    = 8
 	snapJournal     = 9
+	snapSharding    = 10
 )
 
 // ErrSnapshotCorrupt is wrapped by every LoadIndex failure caused by
@@ -98,6 +108,9 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	}
 	if withJournal {
 		sections = append(sections, snapJournal)
+	}
+	if e.shards > 1 {
+		sections = append(sections, snapSharding)
 	}
 
 	bw := binio.NewWriter(w)
@@ -162,8 +175,58 @@ func SaveIndex(w io.Writer, ix *Index) error {
 			}
 		})
 	}
+	if e.shards > 1 {
+		bw.Section(snapSharding, func(enc *binio.Writer) {
+			enc.Int(e.shards)
+			for _, c := range shardOwnerCounts(e) {
+				enc.Int(c)
+			}
+		})
+	}
 	bw.End()
 	return bw.Flush()
+}
+
+// shardOwnerCounts tallies how many KB1 entities each shard owns under
+// the URI-hash partition — the snapshot's integrity check that a
+// loading build partitions the KB exactly as the writing one did.
+func shardOwnerCounts(e *epoch) []int {
+	counts := make([]int, e.shards)
+	var owners []int32
+	if e.sharded != nil {
+		owners = e.sharded.Owners()
+	} else {
+		owners = pipeline.ShardOwners(e.kb1.kb, e.shards)
+	}
+	for _, o := range owners {
+		counts[o]++
+	}
+	return counts
+}
+
+// readShardingSection restores the shard count, re-derives the
+// partitioned substrate, and verifies the recorded owner counts.
+func readShardingSection(b *binio.Reader, ix *Index) error {
+	k := b.Int()
+	if b.Err() == nil && (k < 1 || k > 1<<16) {
+		b.Fail("shard count %d out of range", k)
+	}
+	counts := make([]int, 0, min(k, 1<<16))
+	for i := 0; i < k && b.Err() == nil; i++ {
+		counts = append(counts, b.Int())
+	}
+	if err := b.Err(); err != nil {
+		return fmt.Errorf("%w: sharding: %v", ErrSnapshotCorrupt, err)
+	}
+	ix.setShards(k)
+	got := shardOwnerCounts(ix.cur.Load())
+	for s, c := range counts {
+		if got[s] != c {
+			return fmt.Errorf("%w: sharding: shard %d owns %d entities, snapshot recorded %d",
+				ErrSnapshotCorrupt, s, got[s], c)
+		}
+	}
+	return nil
 }
 
 // writeNeighborLists encodes the frozen per-entity neighbor lists.
@@ -305,7 +368,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		return b, nil
 	}
 
-	e := &epoch{}
+	e := &epoch{shards: 1}
 	ix := &Index{}
 	ix.cur.Store(e)
 
@@ -395,6 +458,11 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	}
 	if jb, ok := bodies[snapJournal]; ok {
 		if err := readJournalSection(jb, ix); err != nil {
+			return nil, err
+		}
+	}
+	if sb, ok := bodies[snapSharding]; ok {
+		if err := readShardingSection(sb, ix); err != nil {
 			return nil, err
 		}
 	}
