@@ -660,7 +660,7 @@ func (ix *Index) ensureMutator(ctx context.Context, e *epoch) error {
 			return fmt.Errorf("minoaner: priming mutable substrate: %w", err)
 		}
 		cache.SetMatches(e.h1, e.h2, e.h3, e.matches, e.discardedByH4)
-		attachShardSubs(cache, e.kb1.kb, e.shards)
+		cache.AttachShardSubs(e.kb1.kb, e.shards)
 		ne := e.clone()
 		ne.cache = cache
 		ix.cur.Store(ne)
@@ -668,24 +668,12 @@ func (ix *Index) ensureMutator(ctx context.Context, e *epoch) error {
 		// A cache primed before the index was (re)sharded: attach the
 		// owner-restricted sub-substrates so mutations maintain them.
 		cache := *e.cache
-		attachShardSubs(&cache, e.kb1.kb, e.shards)
+		cache.AttachShardSubs(e.kb1.kb, e.shards)
 		ne := e.clone()
 		ne.cache = &cache
 		ix.cur.Store(ne)
 	}
 	return nil
-}
-
-// attachShardSubs splits the cache's side-1 substrate into the K
-// owner-restricted sub-substrates mutations maintain; unsharded
-// indexes carry none.
-func attachShardSubs(cache *pipeline.Cache, kb1 *kb.KB, k int) {
-	if k <= 1 {
-		cache.ShardSubs, cache.ShardOwners = nil, nil
-		return
-	}
-	cache.ShardOwners = pipeline.ShardOwners(kb1, k)
-	cache.ShardSubs = cache.Prep1.SplitByOwner(cache.ShardOwners, k)
 }
 
 // Compact trims the index's write-side bookkeeping: the mutation
@@ -754,7 +742,7 @@ func (ix *Index) Reshard(k int) error {
 	ne.shards = k
 	if e.cache != nil {
 		cache := *e.cache
-		attachShardSubs(&cache, e.kb1.kb, k)
+		cache.AttachShardSubs(e.kb1.kb, k)
 		ne.cache = &cache
 	}
 	ne.sharded = shardedFromPrep(ne.prep, ne.cache, k)

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrozenWrite is the static complement of the lock-free-reader
+// contract: once an epoch is published, every reader walks its state
+// without locks, so nothing reachable from a type marked
+// //minoaner:frozen may be written in place. The rule flags
+// assignments, inc/dec, and the writing builtins (append, copy, clear,
+// delete) whose target is reached through a field of a frozen type.
+//
+// Two shapes are recognized as copy-on-write construction and allowed
+// everywhere: direct field assignment on a function-local VALUE of the
+// frozen type (`cp := *shared; cp.Field = x` — the canonical epoch
+// clone), and direct field assignment on a local pointer freshly built
+// in the same function (`p := &T{...}; p.Field = x`). Everything
+// deeper — writing an element of a shared slice or map field — is a
+// write into memory the previous epoch may share, and is only
+// permitted inside the frozen type's declaring package, in functions
+// annotated //minoaner:mutator.
+var FrozenWrite = &Rule{
+	Name: "frozenwrite",
+	Doc:  "fields of //minoaner:frozen types are immutable once published",
+	run:  runFrozenWrite,
+}
+
+func runFrozenWrite(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lh := range s.Lhs {
+						checkFrozenTarget(p, fd, s, lh, "assignment")
+					}
+				case *ast.IncDecStmt:
+					checkFrozenTarget(p, fd, s, s.X, "increment")
+				case *ast.CallExpr:
+					for _, b := range [...]string{"append", "copy", "clear", "delete"} {
+						if isBuiltin(p, s, b) && len(s.Args) > 0 {
+							checkFrozenTarget(p, fd, s, s.Args[0], b)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFrozenTarget reports a write whose target is reached through a
+// field of a frozen type, unless a copy-on-write or mutator exemption
+// applies.
+func checkFrozenTarget(p *Pass, fd *ast.FuncDecl, stmt ast.Node, target ast.Expr, kind string) {
+	sel, tn, direct := frozenSelector(p, target)
+	if sel == nil {
+		return
+	}
+	if direct && cowReceiver(p, fd, sel.X, tn) {
+		return
+	}
+	samePkg := tn.Pkg() == p.Pkg.Types
+	if d := p.Pkg.Dirs.inDoc(fd.Doc, "mutator"); d != nil {
+		d.used = true // the directive matched a write; don't also report it stale
+		if samePkg {
+			return
+		}
+		p.Reportf(stmt.Pos(), "//minoaner:mutator cannot authorize %s through frozen %s.%s here: only %s, the declaring package, may patch it",
+			kind, tn.Pkg().Name(), tn.Name(), tn.Pkg().Path())
+		return
+	}
+	if p.suppressed("mutator", stmt) && samePkg {
+		return
+	}
+	p.Reportf(stmt.Pos(), "%s through field %s of frozen type %s.%s: published epochs share this memory; build a patched copy in a //minoaner:mutator function of %s instead",
+		kind, sel.Sel.Name, tn.Pkg().Name(), tn.Name(), tn.Pkg().Path())
+}
+
+// frozenSelector unwraps the expression looking for a field selection
+// whose receiver is a frozen type. direct is true when the selector IS
+// the whole expression — a plain field write, as opposed to a write
+// through the field's element or sub-field.
+func frozenSelector(p *Pass, e ast.Expr) (sel *ast.SelectorExpr, tn *types.TypeName, direct bool) {
+	depth := 0
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			depth++
+			e = x.X
+		case *ast.SliceExpr:
+			depth++
+			e = x.X
+		case *ast.StarExpr:
+			depth++
+			e = x.X
+		case *ast.SelectorExpr:
+			if s, ok := p.Pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if named := derefNamed(s.Recv()); named != nil && p.ldr.Frozen(named.Obj()) {
+					return x, named.Obj(), depth == 0
+				}
+			}
+			depth++
+			e = x.X
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// cowReceiver reports whether recv is a function-local copy-on-write
+// holder of the frozen type: a local variable of the value type, or a
+// local pointer defined from a fresh &T{...} / new(T) in the same
+// function.
+func cowReceiver(p *Pass, fd *ast.FuncDecl, recv ast.Expr, tn *types.TypeName) bool {
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() || !declaredWithin(obj, fd) {
+		return false
+	}
+	if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+		return derefNamed(obj.Type()) != nil // local value: writes land on the copy
+	}
+	return freshlyConstructed(p, fd, obj)
+}
+
+// freshlyConstructed reports whether the local pointer variable is
+// defined from &CompositeLit{...} or new(T) inside the function.
+func freshlyConstructed(p *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	fresh := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lh := range s.Lhs {
+				id, ok := ast.Unparen(lh).(*ast.Ident)
+				if !ok || p.ObjectOf(id) != obj || len(s.Rhs) != len(s.Lhs) {
+					continue
+				}
+				fresh = freshExpr(p, s.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if p.ObjectOf(name) == obj && i < len(s.Values) {
+					fresh = freshExpr(p, s.Values[i])
+				}
+			}
+		}
+		return !fresh
+	})
+	return fresh
+}
+
+func freshExpr(p *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		return isBuiltin(p, x, "new")
+	}
+	return false
+}
+
+// derefNamed unwraps pointers and aliases down to a named type.
+func derefNamed(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags loops in determinism-critical packages that let Go's
+// randomized map-iteration order reach ordered output: appending to a
+// slice, writing slice slots at loop-carried indexes, sending on a
+// channel, or accumulating floating-point sums inside a range over a
+// map. Loops whose hazard is discharged — the appended slice is sorted
+// later in the same function, the append target is a per-key map slot,
+// the written values are loop-invariant — are not reported. Genuinely
+// order-free loops are annotated //minoaner:unordered with a reason.
+var MapOrder = &Rule{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach ordered output in determinism-critical packages",
+	run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !p.Critical() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				// A keyless `for range m` body cannot observe which
+				// key an iteration is for, so every execution order
+				// produces the same effects.
+				if rs.Key == nil {
+					return true
+				}
+				if p.suppressed("unordered", rs) {
+					return true
+				}
+				checkMapRange(p, fd.Body, rs)
+				return true
+			})
+		}
+	}
+}
+
+// checkMapRange reports every order-dependent effect of one range
+// statement over a map.
+func checkMapRange(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	assigned := assignedIn(p, rs.Body)
+
+	handledAppends := make(map[ast.Node]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			if exprVaries(p, s.Value, loopVars, assigned) {
+				p.Reportf(s.Arrow, "send on %s inside range over map %s: the receiver observes map iteration order; annotate //minoaner:unordered if the order is provably irrelevant",
+					render(s.Chan), render(rs.X))
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, fnBody, rs, s, loopVars, assigned, handledAppends)
+		case *ast.CallExpr:
+			// append whose result is not assigned in this statement
+			// (passed as an argument, returned, ...): the built slice
+			// still carries iteration order.
+			if isBuiltin(p, s, "append") && !handledAppends[s] && appendVaries(p, s, loopVars, assigned) {
+				p.Reportf(s.Pos(), "append in map-iteration order over %s escapes unsorted; sort the result or annotate //minoaner:unordered",
+					render(rs.X))
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, s *ast.AssignStmt,
+	loopVars, assigned map[types.Object]bool, handledAppends map[ast.Node]bool) {
+	for i, rh := range s.Rhs {
+		call, ok := ast.Unparen(rh).(*ast.CallExpr)
+		if !ok || !isBuiltin(p, call, "append") {
+			continue
+		}
+		handledAppends[call] = true
+		var target ast.Expr
+		if len(s.Lhs) == len(s.Rhs) {
+			target = s.Lhs[i]
+		}
+		checkRangeAppend(p, fnBody, rs, call, target, loopVars, assigned)
+	}
+	for _, lh := range s.Lhs {
+		// Slice-slot writes: out[i] with i mutated inside the loop
+		// means the slot an iteration lands in depends on when the
+		// iteration runs.
+		if ix, ok := ast.Unparen(lh).(*ast.IndexExpr); ok {
+			if t := p.TypeOf(ix.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					if identFrom(p, ix.Index, assigned) {
+						p.Reportf(lh.Pos(), "slice index %s changes inside range over map %s, so the slot written depends on iteration order; index by the key or annotate //minoaner:unordered",
+							render(ix.Index), render(rs.X))
+					}
+				}
+			}
+		}
+	}
+	// Floating-point accumulation is not associative: summing map
+	// values in iteration order produces different bits per run.
+	if len(s.Lhs) == 1 && isFloatAccum(s.Tok) {
+		if t := p.TypeOf(s.Lhs[0]); t != nil && isFloat(t) {
+			if obj := rootObject(p, s.Lhs[0]); obj != nil && !loopVars[obj] && !declaredWithin(obj, rs.Body) &&
+				exprVaries(p, s.Rhs[0], loopVars, assigned) {
+				p.Reportf(s.Pos(), "float accumulation into %s inside range over map %s is order-dependent (float addition is not associative); accumulate over sorted keys or annotate //minoaner:unordered",
+					render(s.Lhs[0]), render(rs.X))
+			}
+		}
+	}
+}
+
+// checkRangeAppend decides whether one `dst = append(dst, ...)` inside
+// a map range is order-dependent.
+func checkRangeAppend(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr,
+	target ast.Expr, loopVars, assigned map[types.Object]bool) {
+	if !appendVaries(p, call, loopVars, assigned) {
+		return // appending the same values every iteration
+	}
+	if target != nil {
+		// out[k] = append(out[k], ...) with k exactly the range key:
+		// each key owns its slot, so iteration order cannot show.
+		if ix, ok := ast.Unparen(target).(*ast.IndexExpr); ok {
+			if t := p.TypeOf(ix.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && loopVars[p.ObjectOf(id)] {
+						return
+					}
+				}
+			}
+		}
+		if obj := rootObject(p, target); obj != nil {
+			if loopVars[obj] || declaredWithin(obj, rs.Body) {
+				return // per-iteration destination
+			}
+			if sortedAfter(p, fnBody, rs.End(), obj) {
+				return // a later sort re-establishes a total order
+			}
+			p.Reportf(call.Pos(), "%s is appended to in map-iteration order over %s and never sorted in this function; sort it before it escapes or annotate //minoaner:unordered",
+				obj.Name(), render(rs.X))
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "append in map-iteration order over %s escapes unsorted; sort the result or annotate //minoaner:unordered", render(rs.X))
+}
+
+// appendVaries reports whether any appended element differs across
+// iterations.
+func appendVaries(p *Pass, call *ast.CallExpr, loopVars, assigned map[types.Object]bool) bool {
+	for _, a := range call.Args[1:] {
+		if exprVaries(p, a, loopVars, assigned) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedIn collects every object assigned, defined, or inc/dec'd by
+// simple-identifier statements inside the block.
+func assignedIn(p *Pass, block ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lh := range s.Lhs {
+				add(lh)
+			}
+		case *ast.IncDecStmt:
+			add(s.X)
+		}
+		return true
+	})
+	return out
+}
+
+// exprVaries reports whether the expression can change across loop
+// iterations: it mentions a loop variable or a variable assigned in
+// the loop, or calls anything (conservatively impure).
+func exprVaries(p *Pass, e ast.Expr, loopVars, assigned map[types.Object]bool) bool {
+	varies := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := p.ObjectOf(x); obj != nil && (loopVars[obj] || assigned[obj]) {
+				varies = true
+			}
+		case *ast.CallExpr:
+			varies = true
+		}
+		return !varies
+	})
+	return varies
+}
+
+// identFrom reports whether the expression mentions any identifier in
+// the set.
+func identFrom(p *Pass, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject unwraps selectors, indexes, stars, and parens down to the
+// base identifier's object.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return p.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the object's declaration lies inside
+// the node's span.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// sortedAfter reports whether, after pos, the function passes obj to
+// something that sorts it.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos || !sortish(p, call.Fun) {
+			return true
+		}
+		if identFrom(p, call, map[types.Object]bool{obj: true}) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortish recognizes callees that impose a total order: anything from
+// package sort or slices, and any function whose name mentions Sort.
+func sortish(p *Pass, fun ast.Expr) bool {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := p.ObjectOf(id).(*types.PkgName); ok {
+				if path := pn.Imported().Path(); path == "sort" || path == "slices" {
+					return true
+				}
+			}
+		}
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	}
+	return false
+}
+
+// render prints an expression compactly for diagnostics.
+func render(e ast.Expr) string { return types.ExprString(e) }
+
+func isFloatAccum(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.ObjectOf(id).(*types.Builtin)
+	return ok
+}

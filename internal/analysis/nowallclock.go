@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NoWallClock keeps wall-clock readings and randomness out of the
+// determinism-critical packages: the same KBs must produce the same
+// matches on every run, so nothing on the match path may branch on
+// time.Now/Since/Until or import a rand package. Instrumentation that
+// measures but never influences results (stage timings) is annotated
+// //minoaner:wallclock with a reason.
+var NoWallClock = &Rule{
+	Name: "nowallclock",
+	Doc:  "wall-clock and randomness must not reach determinism-critical packages",
+	run:  runNoWallClock,
+}
+
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runNoWallClock(p *Pass) {
+	if !p.Critical() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !bannedImports[path] {
+				continue
+			}
+			if !p.suppressed("wallclock", imp) {
+				p.Reportf(imp.Pos(), "determinism-critical package %s imports %s: randomness must not reach the match path; annotate //minoaner:wallclock only if it provably never influences results",
+					p.Pkg.Path, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !bannedTimeFuncs[obj.Name()] {
+				return true
+			}
+			if !p.suppressed("wallclock", sel) {
+				p.Reportf(sel.Pos(), "time.%s in determinism-critical package %s: wall-clock must not reach the match path; annotate //minoaner:wallclock if this is instrumentation that never influences results",
+					obj.Name(), p.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

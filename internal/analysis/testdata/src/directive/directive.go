@@ -1,0 +1,29 @@
+// Package directive is the golden corpus of the //minoaner: directive
+// validation: unknown verbs, bare suppressions, and stale directives
+// are themselves findings.
+package directive
+
+// An unknown verb is a typo waiting to silently suppress nothing.
+//
+// want+1 `unknown //minoaner: verb "spindle"`
+//minoaner:spindle this verb does not exist
+
+// bare suppresses a real loop but gives no justification; the
+// suppression works, and its bareness is the finding.
+func bare(m map[string]int) []string {
+	var out []string
+	// want+1 `//minoaner:unordered needs a justification`
+	//minoaner:unordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// A justified suppression that matches nothing is rot: the next
+// reader assumes the hazard it names still exists.
+//
+// want+1 `matches no declaration or finding`
+//minoaner:wallclock golden corpus: nothing here reads the clock
+
+var _ = bare

@@ -1,0 +1,27 @@
+// Package frozenuse writes a frozen type from OUTSIDE its declaring
+// package: no annotation can authorize that, so the rule must hold
+// even against a mutator directive.
+package frozenuse
+
+import "minoaner/internal/analysis/testdata/src/frozenwrite"
+
+// Rewire claims mutator rights it cannot have: only the declaring
+// package may patch a frozen type.
+//
+//minoaner:mutator golden corpus: a cross-package mutator claim must be refused
+func Rewire(b *frozenwrite.Box) {
+	b.Items[0] = 9 // want `cannot authorize assignment through frozen frozenwrite\.Box`
+}
+
+// Stomp is the plain cross-package violation.
+func Stomp(b *frozenwrite.Box) {
+	b.Items = nil // want `assignment through field Items of frozen type frozenwrite\.Box`
+}
+
+// CloneOutside is legitimate: the copy-on-write idiom works from any
+// package.
+func CloneOutside(b *frozenwrite.Box) *frozenwrite.Box {
+	cp := *b
+	cp.Items = nil
+	return &cp
+}

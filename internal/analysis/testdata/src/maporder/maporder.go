@@ -1,0 +1,118 @@
+// Package maporder is the golden corpus of the maporder rule: each
+// function is one shape the rule must flag or must leave alone.
+// Expected findings are recorded as // want comments and checked by
+// the golden tests in internal/analysis.
+package maporder
+
+import "sort"
+
+// appendEscapes lets iteration order reach the returned slice.
+func appendEscapes(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended to in map-iteration order`
+	}
+	return out
+}
+
+// appendSorted discharges the hazard with a sort after the loop.
+func appendSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// perKeySlot appends into a map slot owned by the range key: every
+// execution order writes the same slots.
+func perKeySlot(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// perIterationLocal builds a slice that dies inside the iteration.
+func perIterationLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// suppressedLoop carries a justified suppression.
+func suppressedLoop(m map[string]int) []string {
+	var out []string
+	//minoaner:unordered golden corpus: the caller is documented to sort
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sendOrder exposes iteration order to the channel's receiver.
+func sendOrder(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `send on ch inside range over map m`
+	}
+}
+
+// sliceSlot writes slots at a counter mutated in the loop, so which
+// slot an iteration lands in depends on when it runs.
+func sliceSlot(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want `slot written depends on iteration order`
+		i++
+	}
+	return out
+}
+
+// floatSum accumulates floats in iteration order; float addition is
+// not associative, so the bits differ per run.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation into s`
+	}
+	return s
+}
+
+// intSum is commutative: integer addition gives the same total in
+// every order.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyless cannot observe which key an iteration is for.
+func keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invariantAppend appends the same value every iteration, so the
+// result is order-free (up to its length, which is order-free too).
+func invariantAppend(m map[string]int) []int {
+	marks := make([]int, 0, len(m))
+	for k := range m {
+		_ = k
+		marks = append(marks, 1)
+	}
+	return marks
+}

@@ -1,0 +1,27 @@
+// Package nowallclock is the golden corpus of the nowallclock rule:
+// wall-clock readings and rand imports in a determinism-critical
+// package (testdata packages always count as critical).
+package nowallclock
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+// Stamp reads the wall clock on the (stand-in) match path.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in determinism-critical package`
+}
+
+// Jitter keeps the banned import in use; the rule flags the import
+// site itself.
+func Jitter() int { return rand.Int() }
+
+// Elapsed carries a justified suppression.
+func Elapsed(t0 time.Time) time.Duration {
+	//minoaner:wallclock golden corpus: instrumentation that never influences results
+	return time.Since(t0)
+}
+
+// Add is plain arithmetic on time values: no clock is read.
+func Add(t time.Time, d time.Duration) time.Time { return t.Add(d) }

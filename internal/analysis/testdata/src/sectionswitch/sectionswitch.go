@@ -1,0 +1,54 @@
+// Package sectionswitch is the golden corpus of the sectionswitch
+// rule: section-ID const groups checked for writer AND reader
+// coverage.
+package sectionswitch
+
+// Section IDs of a toy frame: secC is written but never read, and
+// secD is explicitly reserved.
+//
+//minoaner:sections writer=writeAll reader=readAll
+const (
+	secA = 1
+	secB = 2
+	secC = 3 // want `section constant secC is not referenced by reader readAll`
+	//minoaner:unchecked golden corpus: reserved for the next format revision
+	secD = 4
+)
+
+func writeAll(sink map[uint64][]byte) {
+	sink[secA] = nil
+	sink[secB] = nil
+	sink[secC] = nil
+}
+
+func readAll(src map[uint64][]byte) ([]byte, []byte) {
+	return src[secA], src[secB]
+}
+
+// A group that looks like section IDs but opted out of the coverage
+// check by omission.
+
+const ( // want `looks like binary-format section IDs`
+	secX = 1
+	secY = 2
+)
+
+// The reader half names a function that does not exist, so the
+// constant cannot be covered on that side.
+//
+// want+2 `names reader "readGone", but no function or method`
+//
+//minoaner:sections writer=writeM reader=readGone
+const secM = 10 // want `section constant secM is not referenced by reader readGone`
+
+func writeM(sink map[uint64][]byte) {
+	sink[secM] = nil
+}
+
+var (
+	_ = writeAll
+	_ = readAll
+	_ = writeM
+	_ = secX
+	_ = secY
+)

@@ -40,6 +40,8 @@ var collectionMagic = [4]byte{'M', 'B', 'C', '1'}
 const collectionVersion = 1
 
 // Section IDs of the collection frame.
+//
+//minoaner:sections writer=WriteBinary reader=ReadBinary
 const (
 	secCollHeader = 1
 	secCollBlocks = 2
@@ -147,6 +149,8 @@ var preparedMagic = [4]byte{'M', 'P', 'S', '1'}
 const preparedVersion = 1
 
 // Section IDs of the prepared-substrate frame.
+//
+//minoaner:sections writer=WriteBinary reader=ReadPrepared
 const (
 	secPrepHeader = 1
 	secPrepTokens = 2

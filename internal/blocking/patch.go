@@ -175,6 +175,8 @@ func nameSide(p *Prepared) map[string][]kb.EntityID  { return p.names }
 // Flatten collapses an overlay chain into a single-layer substrate
 // (identity for already-flat ones). Serialization and compaction use
 // it; probes work on any depth.
+//
+//minoaner:mutator out is allocated here and unpublished until return; the receiver is never written
 func (p *Prepared) Flatten() *Prepared {
 	if p.base == nil {
 		return p
@@ -195,6 +197,8 @@ func (p *Prepared) Depth() int { return p.depth }
 
 // flattenRemapped flattens while translating every member through the
 // remap, dropping deleted entities and postings that empty out.
+//
+//minoaner:mutator out is allocated here and unpublished until return; the receiver is never written
 func (p *Prepared) flattenRemapped(remap []kb.EntityID, newSize int) *Prepared {
 	out := &Prepared{
 		n1:     newSize,

@@ -24,6 +24,8 @@ import (
 // A mutated KB epoch derives its substrate with ApplyPatch (see
 // patch.go), which layers the touched keys over the frozen base as a
 // copy-on-write overlay instead of rebuilding the inverted index.
+//
+//minoaner:frozen
 type Prepared struct {
 	n1    int
 	nameK int

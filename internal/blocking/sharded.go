@@ -18,6 +18,8 @@ import (
 // global and every sub reports the global KB size, so purge cutoffs
 // and ARCS weights computed downstream see the same totals the
 // unsplit substrate implies. The receiver is unchanged.
+//
+//minoaner:mutator the subs are allocated here and unpublished until return; the receiver is never written
 func (p *Prepared) SplitByOwner(owners []int32, k int) []*Prepared {
 	subs := make([]*Prepared, k)
 	for s := range subs {

@@ -44,6 +44,8 @@ const (
 )
 
 // Section IDs of the version-2 frame.
+//
+//minoaner:sections writer=WriteBinary reader=readSections
 const (
 	secHeader   = 1
 	secPreds    = 2

@@ -11,6 +11,8 @@ import (
 // reverse index, both materialized once. Prepared-side matching derives
 // these for the indexed KB a single time instead of once per query; the
 // view is immutable after Freeze and safe for concurrent readers.
+//
+//minoaner:frozen
 type Frozen struct {
 	kb  *KB
 	n   int

@@ -28,6 +28,8 @@ import (
 // blocking substrate and the sealed neighbor view. Build it once with
 // PrepareSide (or load it from a snapshot) and share it across any
 // number of concurrent delta runs.
+//
+//minoaner:frozen
 type Prepared struct {
 	// Blocks is the frozen token/name inverted index of the left KB.
 	Blocks *blocking.Prepared

@@ -104,6 +104,7 @@ func (e *Engine) Run(ctx context.Context, st *State) ([]StageStat, error) {
 			runtime.ReadMemStats(&ms)
 			alloc0 = ms.TotalAlloc
 		}
+		//minoaner:wallclock stage timing instrumentation; durations go to StageStat and never feed match output
 		start := time.Now()
 		if err := stage.Run(ctx, st); err != nil {
 			// Cancellation surfaces as the bare context error so callers
@@ -114,7 +115,8 @@ func (e *Engine) Run(ctx context.Context, st *State) ([]StageStat, error) {
 			return nil, fmt.Errorf("pipeline: stage %s: %w", stage.Name(), err)
 		}
 		stat := StageStat{
-			Stage:    stage.Name(),
+			Stage: stage.Name(),
+			//minoaner:wallclock stage timing instrumentation; durations go to StageStat and never feed match output
 			Duration: time.Since(start),
 		}
 		if e.AllocStats {

@@ -32,6 +32,8 @@ import (
 // sides, the frozen neighbor lists, the joined (pre-purge) token
 // collection and the name collection, the purge result, and the
 // candidate lists. All fields are immutable once published.
+//
+//minoaner:frozen
 type Cache struct {
 	Prep1, Prep2 *blocking.Prepared
 	Top1, Top2   [][]kb.EntityID
@@ -67,6 +69,8 @@ type Cache struct {
 
 // SetMatches records the epoch's matching outputs on the cache (the
 // adoption source of evidence-unchanged updates).
+//
+//minoaner:mutator runs while the cache is being primed or built, before it is published to readers
 func (c *Cache) SetMatches(h1, h2, h3, matches []eval.Pair, discarded int) {
 	c.H1, c.H2, c.H3, c.Matches, c.Discarded, c.MatchesValid = h1, h2, h3, matches, discarded, true
 }
@@ -208,6 +212,8 @@ func UpdateBlockPurging() Stage {
 
 // UpdateTokenWeighting is TokenWeighting with the sharing fast path:
 // an unchanged purged collection keeps its weights.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateTokenWeighting() Stage {
 	return newStage(StageTokenWeighting, func(ctx context.Context, st *State) error {
 		u := st.update
@@ -270,6 +276,8 @@ var errNotUpdate = errors.New("requires an update state (build it with NewUpdate
 // stage consumes the same patched substrates) and derives B_N. When a
 // mutation reorders a KB's most distinctive attributes, that side's
 // name postings — and B_N — are rebuilt wholesale instead of patched.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateNameBlocking() Stage {
 	return newStage(StageNameBlocking, func(ctx context.Context, st *State) error {
 		u := st.update
@@ -342,6 +350,8 @@ func UpdateNameBlocking() Stage {
 
 // UpdateTokenBlocking derives the raw B_T of the new epoch by splicing
 // the touched token keys into the previous epoch's joined collection.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateTokenBlocking() Stage {
 	return newStage(StageTokenBlocking, func(ctx context.Context, st *State) error {
 		u := st.update
@@ -380,6 +390,8 @@ func UpdateTokenBlocking() Stage {
 // patched keys, plus every block whose purge status flipped when the
 // cutoffs moved) and from it the value-affected entity sets of both
 // sides.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateBlockIndexing() Stage {
 	return newStage(StageBlockIndexing, func(ctx context.Context, st *State) error {
 		u := st.update
@@ -544,6 +556,8 @@ func sameCandArray(a, b [][]Cand) bool {
 // affected entities (accumulating over their purged blocks in the
 // eager stage's order) and carries everyone else's list over from the
 // previous epoch, remapped into the new ID spaces.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateValueCandidates() Stage {
 	return newStage(StageValueCandidates, func(ctx context.Context, st *State) error {
 		u := st.update
@@ -686,6 +700,8 @@ func remapCands(cands []Cand, dOther *kb.Diff) ([]Cand, error) {
 // UpdateNeighborCandidates rebuilds the best-neighbor view where edges
 // (or the relation ranking) changed, derives which entities' neighbor
 // evidence that touches, recomputes those, and carries the rest over.
+//
+//minoaner:mutator stage writes u.next, the epoch cache under construction; it is published only after the plan completes
 func UpdateNeighborCandidates() Stage {
 	return newStage(StageNeighborCandidates, func(ctx context.Context, st *State) error {
 		u := st.update

@@ -10,7 +10,24 @@ import (
 	"context"
 
 	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
 )
+
+// AttachShardSubs splits the cache's side-1 substrate into the k
+// owner-restricted sub-substrates mutations maintain; k <= 1 detaches
+// them (an unsharded index carries none). Callers invoke it on an
+// unpublished cache — freshly primed, or a value clone of the current
+// epoch's — never on one readers already see.
+//
+//minoaner:mutator callers hold the only reference: the cache is freshly primed or a private value clone
+func (c *Cache) AttachShardSubs(kb1 *kb.KB, k int) {
+	if k <= 1 {
+		c.ShardSubs, c.ShardOwners = nil, nil
+		return
+	}
+	c.ShardOwners = ShardOwners(kb1, k)
+	c.ShardSubs = c.Prep1.SplitByOwner(c.ShardOwners, k)
+}
 
 // updateShardSubs carries the owner-restricted sub-substrates of the
 // previous epoch into the next one, as part of UpdateNameBlocking
@@ -20,6 +37,8 @@ import (
 // pointer-shared. The name-rebuild fallback (stable1 == false)
 // re-splits the rebuilt substrate wholesale, mirroring what it does to
 // the unsplit name postings.
+//
+//minoaner:mutator writes u.next, the epoch cache under construction; it is published only after the plan completes
 func updateShardSubs(st *State, u *updateSide, stable1 bool) {
 	prevSubs := u.prev.ShardSubs
 	if prevSubs == nil {

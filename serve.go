@@ -144,6 +144,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	//minoaner:wallclock endpoint latency metric; feeds /metrics counters, never match output
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r)
@@ -152,6 +153,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if sw.status >= 400 {
 		m.errors.Add(1)
 	}
+	//minoaner:wallclock endpoint latency metric; feeds /metrics counters, never match output
 	m.totalMicros.Add(time.Since(start).Microseconds())
 }
 

@@ -74,6 +74,8 @@ var snapshotMagic = [4]byte{'M', 'S', 'N', 'P'}
 const snapshotVersion = 1
 
 // Section IDs of the snapshot frame.
+//
+//minoaner:sections writer=SaveIndex reader=LoadIndex
 const (
 	snapConfig      = 1
 	snapKB1         = 2
