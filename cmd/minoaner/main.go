@@ -62,6 +62,7 @@ func usage() {
   minoaner snapshot -inspect index.msnp
   minoaner serve    -index index.msnp [-addr :8080]
   minoaner serve    -kb1 a.nt -kb2 b.nt [-addr :8080]
+  minoaner serve    -replica -primary http://primary:8080 [-addr :8081]
 
 Run a subcommand with -h for its flags. Flags without a subcommand run
 'resolve' (the original CLI).
@@ -110,6 +111,12 @@ func (mc *matchConfig) config() minoaner.Config {
 	cfg.DisableH3 = *mc.noH3
 	cfg.DisableH4 = *mc.noH4
 	return cfg
+}
+
+// kbsDeclared reports whether either KB path flag was set — serve uses
+// it to reject -kb1/-kb2 alongside -replica.
+func (mc *matchConfig) kbsDeclared() bool {
+	return *mc.kb1Path != "" || *mc.kb2Path != ""
 }
 
 // loadKBs loads both KBs per the shared flags (lenient parsing, binary

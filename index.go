@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +52,13 @@ type Index struct {
 	mut        *mutator
 	journal    []JournalEntry
 	journalLen atomic.Int64
+
+	// compactions counts Compact calls over the index's lifetime and
+	// persists through snapshots. Compact rewrites write-side state the
+	// journal alone cannot reproduce (the stores' term tables), so a
+	// replica that observes the primary's count move past its own must
+	// resync from a snapshot rather than keep replaying.
+	compactions atomic.Uint64
 }
 
 // epoch is one immutable resolution state. Every field is final once
@@ -103,6 +113,13 @@ type mutator struct {
 // retention, or KBs built with retention disabled. Rebuild the index
 // (or its snapshot) from sources to mutate it.
 var ErrNotMutable = errors.New("minoaner: index is not mutable (its KBs lack retained source triples; rebuild from sources)")
+
+// ErrJournalTruncated is returned by JournalSince and Replay when the
+// journal no longer connects the caller's cursor to the current epoch
+// — typically because Compact dropped the entries in between, or the
+// entries predate the replayable (delta-carrying) journal format.
+// Replicas recover by resyncing from a full snapshot.
+var ErrJournalTruncated = errors.New("minoaner: journal truncated before the requested epoch (resync from a snapshot)")
 
 // clone copies the epoch for a derived publish (same resolution state,
 // new auxiliary fields).
@@ -617,6 +634,7 @@ func (ix *Index) applyMutation(ctx context.Context, side int, delta *KB, uris []
 	if delta != nil {
 		entry.Subjects = delta.URIs()
 		entry.Triples = delta.kb.NumTriples()
+		entry.Delta = deltaLines(delta)
 	} else {
 		entry.Op = JournalDelete
 		entry.Subjects = append([]string(nil), uris...)
@@ -634,17 +652,14 @@ func (ix *Index) applyMutation(ctx context.Context, side int, delta *KB, uris []
 // the epoch's scoring substrate (recomputing candidate evidence when
 // the epoch was loaded rather than built). Called under mu.
 func (ix *Index) ensureMutator(ctx context.Context, e *epoch) error {
-	if !e.kb1.kb.HasSources() || !e.kb2.kb.HasSources() {
-		return ErrNotMutable
-	}
 	if ix.mut == nil {
 		s1, err := kb.NewStore(e.kb1.kb)
 		if err != nil {
-			return ErrNotMutable
+			return fmt.Errorf("%w: first KB: %w", ErrNotMutable, err)
 		}
 		s2, err := kb.NewStore(e.kb2.kb)
 		if err != nil {
-			return ErrNotMutable
+			return fmt.Errorf("%w: second KB: %w", ErrNotMutable, err)
 		}
 		workers := e.cfg.internal().Params().Workers
 		s1.SetWorkers(workers)
@@ -684,6 +699,7 @@ func (ix *Index) ensureMutator(ctx context.Context, e *epoch) error {
 func (ix *Index) Compact() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.compactions.Add(1)
 	ix.journal = nil
 	ix.journalLen.Store(0)
 	if ix.mut != nil {
@@ -751,8 +767,9 @@ func (ix *Index) Reshard(k int) error {
 }
 
 // JournalEntry records one absorbed mutation. The journal is the
-// provenance of a mutated index: it persists in snapshots (section 9)
-// and is truncated by Compact.
+// replayable provenance of a mutated index: it persists in snapshots
+// (section 9), is truncated by Compact, and feeding a primary's
+// entries to Index.Replay reproduces the primary's state exactly.
 type JournalEntry struct {
 	// Seq is the epoch the mutation produced.
 	Seq uint64
@@ -764,6 +781,13 @@ type JournalEntry struct {
 	Subjects []string
 	// Triples counts the delta's triples (0 for deletes).
 	Triples int
+	// Delta holds an upsert's source triples as canonical N-Triples
+	// lines, one per retained triple in interned order — the payload
+	// that makes the entry replayable on another index. Nil for
+	// deletes, and for upsert entries loaded from snapshots written
+	// before the payload existed (Replay rejects those with
+	// ErrJournalTruncated).
+	Delta []string
 }
 
 // Journal operation codes.
@@ -780,17 +804,173 @@ func (ix *Index) Journal() []JournalEntry {
 	return append([]JournalEntry(nil), ix.journal...)
 }
 
-// SaveIndexFile writes the index snapshot to a file.
+// Compactions returns how many times Compact has run over the index's
+// lifetime (persisted through snapshots). Replication compares the
+// primary's count against the replica's: a difference means the
+// primary rewrote journal-invisible state and the replica must resync.
+func (ix *Index) Compactions() uint64 { return ix.compactions.Load() }
+
+// JournalTail is JournalSince's answer: the entries a caller must
+// replay to catch up, plus the epoch and compaction count they lead
+// to, captured atomically with the entries.
+type JournalTail struct {
+	Entries     []JournalEntry
+	Epoch       uint64
+	Compactions uint64
+}
+
+// JournalSince returns the journal entries with Seq > since — the tail
+// an index at epoch `since` must Replay to reach this index's state.
+// An up-to-date cursor (since >= current epoch) yields no entries. It
+// fails with ErrJournalTruncated when Compact has dropped entries
+// after `since`: the cursor predates the journal's coverage, and only
+// a full snapshot resync can bridge the gap.
+func (ix *Index) JournalSince(since uint64) (JournalTail, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e := ix.cur.Load()
+	tail := JournalTail{Epoch: e.seq, Compactions: ix.compactions.Load()}
+	base := e.seq - uint64(len(ix.journal))
+	if since < base {
+		return tail, fmt.Errorf("%w: journal covers epochs (%d, %d], cursor at %d", ErrJournalTruncated, base, e.seq, since)
+	}
+	if since >= e.seq {
+		return tail, nil
+	}
+	tail.Entries = append([]JournalEntry(nil), ix.journal[since-base:]...)
+	return tail, nil
+}
+
+// Replay applies journal entries taken from another index — typically
+// a replication primary's Journal or JournalSince tail — in order.
+// Entries at or below the current epoch are skipped, so overlapping
+// tails are safe. The result is rebuild-equivalent and byte-exact:
+// after replaying the primary's journal, this index's matches,
+// statistics, and saved snapshot are bit-identical to the primary's at
+// the same epoch. Replay is a write-side call: serialize it with other
+// mutations (a replica has exactly one writer, its tailing loop).
+//
+// It returns the number of entries applied and fails with
+// ErrJournalTruncated when the entries do not connect to the current
+// epoch, or when an upsert entry lacks its delta payload (journals
+// persisted before the replayable format); both mean the caller must
+// resync from a snapshot.
+func (ix *Index) Replay(ctx context.Context, entries []JournalEntry) (int, error) {
+	applied := 0
+	for i := range entries {
+		ok, err := ix.replayOne(ctx, &entries[i])
+		if err != nil {
+			return applied, fmt.Errorf("minoaner: replaying journal entry for epoch %d: %w", entries[i].Seq, err)
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// replayOne applies one journal entry, verifying it produces exactly
+// the epoch it recorded.
+func (ix *Index) replayOne(ctx context.Context, je *JournalEntry) (bool, error) {
+	cur := ix.Epoch()
+	if je.Seq <= cur {
+		return false, nil // already absorbed: an overlapping tail
+	}
+	if je.Seq != cur+1 {
+		return false, fmt.Errorf("%w: entry jumps from epoch %d to %d", ErrJournalTruncated, cur, je.Seq)
+	}
+	var out mutationOutcome
+	var err error
+	switch je.Op {
+	case JournalUpsert:
+		if len(je.Delta) == 0 {
+			return false, fmt.Errorf("%w: upsert entry carries no delta payload (journal predates the replayable format)", ErrJournalTruncated)
+		}
+		delta, perr := LoadKB("replay", strings.NewReader(strings.Join(je.Delta, "\n")))
+		if perr != nil {
+			return false, fmt.Errorf("parsing delta payload: %w", perr)
+		}
+		out, err = ix.applyMutation(ctx, je.Side, delta, nil)
+	case JournalDelete:
+		out, err = ix.applyMutation(ctx, je.Side, nil, je.Subjects)
+	default:
+		return false, fmt.Errorf("invalid journal op %d", je.Op)
+	}
+	if err != nil {
+		return false, err
+	}
+	if out.noop || out.epoch != je.Seq {
+		return false, fmt.Errorf("replay diverged: entry for epoch %d produced epoch %d (noop=%v)", je.Seq, out.epoch, out.noop)
+	}
+	return true, nil
+}
+
+// deltaLines renders an upsert delta's retained source triples as
+// canonical N-Triples lines. The rendering round-trips exactly (write,
+// parse, write is the identity), so replaying the lines rebuilds a
+// delta KB with bit-identical sources.
+func deltaLines(delta *KB) []string {
+	triples := delta.kb.SourceTriples()
+	out := make([]string, len(triples))
+	for i, t := range triples {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// replaceState adopts another index's entire state — epoch, journal,
+// and compaction count — atomically for readers. It backs a replica's
+// full resync: src is a freshly loaded snapshot that has never been
+// shared, and ownership of its state transfers to ix. The stale write
+// side is dropped; the next mutation rebuilds it from the adopted
+// epoch.
+func (ix *Index) replaceState(src *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.mut = nil
+	ix.journal = src.Journal()
+	ix.compactions.Store(src.compactions.Load())
+	ix.cur.Store(src.cur.Load())
+	ix.journalLen.Store(int64(len(ix.journal)))
+}
+
+// SaveIndexFile writes the index snapshot to a file atomically: the
+// bytes go to a temporary file in the same directory, are synced, and
+// replace the target via rename — a failed save (or a crash mid-write)
+// leaves any previous snapshot at the path intact.
 func SaveIndexFile(path string, ix *Index) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveIndex(w, ix) })
+}
+
+// writeFileAtomic writes a file via temp file + fsync + rename, so the
+// path either keeps its old content or holds the complete new bytes —
+// never a truncated mix.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := SaveIndex(f, ix); err != nil {
-		f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadIndexFile reads an index snapshot from a file.

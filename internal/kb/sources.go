@@ -39,6 +39,27 @@ type Sources struct {
 // NumTriples returns the number of retained (distinct) triples.
 func (s *Sources) NumTriples() int { return len(s.refs) }
 
+// SourceTriples returns the KB's retained source triples in interned
+// order — sorted by (subject, predicate, object) term values and
+// deduplicated. This is the canonical rendering order of a replayable
+// mutation journal: serializing these triples and rebuilding a KB from
+// them reproduces the same sources bit-for-bit. Nil when the KB
+// retains no sources.
+func (kb *KB) SourceTriples() []rdf.Triple {
+	if kb.src == nil {
+		return nil
+	}
+	out := make([]rdf.Triple, len(kb.src.refs))
+	for i, r := range kb.src.refs {
+		out[i] = rdf.Triple{
+			Subject:   kb.src.terms[r.s],
+			Predicate: kb.src.terms[r.p],
+			Object:    kb.src.terms[r.o],
+		}
+	}
+	return out
+}
+
 // HasSources reports whether the KB retains its source triples and can
 // therefore back a Store.
 func (kb *KB) HasSources() bool { return kb.src != nil }
@@ -159,8 +180,9 @@ func (s *Store) intern(t rdf.Term) int32 {
 }
 
 // Revert undoes one successful Apply, restoring the pre-Apply triple
-// set. Terms interned by the reverted Apply stay in the table (they
-// are harmless and reused on a retry); reclaim them with Compact.
+// set and term table: terms the reverted Apply interned are removed
+// again, so an aborted mutation leaves no trace in later assemblies
+// (or the snapshots derived from them).
 type Revert func()
 
 // Apply mutates the triple set: every triple whose subject key is an
@@ -171,6 +193,7 @@ type Revert func()
 // have been tokenized under the same options as the store.
 func (s *Store) Apply(delta *KB, deletes []string) (changed bool, revert Revert, err error) {
 	drop := make(map[string]bool, len(deletes)+8)
+	prevTerms := len(s.terms)
 	var putRefs []tripleRef
 	if delta != nil {
 		if delta.src == nil {
@@ -182,9 +205,22 @@ func (s *Store) Apply(delta *KB, deletes []string) (changed bool, revert Revert,
 		for i := range delta.entities {
 			drop[delta.entities[i].URI] = true
 		}
+		// Intern new terms in sorted-ref traversal order, not the
+		// delta's term-table (parse encounter) order: the resulting
+		// store table then depends only on the triple *set*, so a
+		// journal delta re-parsed from its canonical rendering interns
+		// bit-identically to the original upsert. Terms no triple
+		// references are skipped — they would only be orphans.
 		trans := make([]int32, len(delta.src.terms))
-		for i, t := range delta.src.terms {
-			trans[i] = s.intern(t)
+		for i := range trans {
+			trans[i] = -1
+		}
+		for _, r := range delta.src.refs {
+			for _, ti := range [3]int32{r.s, r.p, r.o} {
+				if trans[ti] < 0 {
+					trans[ti] = s.intern(delta.src.terms[ti])
+				}
+			}
 		}
 		putRefs = make([]tripleRef, len(delta.src.refs))
 		for i, r := range delta.src.refs {
@@ -290,6 +326,13 @@ func (s *Store) Apply(delta *KB, deletes []string) (changed bool, revert Revert,
 		for p, d := range predDelta {
 			s.predUse[p] -= d
 		}
+		// Un-intern the terms this Apply appended. No assembled KB can
+		// reference them (assemblies share length-capped prefixes of the
+		// table), so truncating restores the exact pre-Apply table.
+		for _, t := range s.terms[prevTerms:] {
+			delete(s.termIndex, t)
+		}
+		s.terms = s.terms[:prevTerms]
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,16 @@ import (
 //	POST /delete               remove entities, JSON
 //	                           {"side": 2, "uris": [...]} (requires
 //	                           WithMutations)
+//	GET  /journal?since=N      the mutation journal entries after epoch
+//	                           N as streamed NDJSON (one entry per
+//	                           line, flushed as written); 410 Gone
+//	                           when Compact dropped them. Every
+//	                           response carries the X-Minoaner-Epoch
+//	                           and X-Minoaner-Compactions headers —
+//	                           the replication cursor protocol.
+//	GET  /snapshot             the full index snapshot (SaveIndex
+//	                           bytes): the bootstrap/resync source for
+//	                           replicas
 //
 // Error responses, 404/405s, and everything the mutation endpoints
 // return carry Cache-Control: no-store — an intermediary must never
@@ -48,6 +59,7 @@ type server struct {
 	ix      *Index
 	mux     *http.ServeMux
 	mutable bool
+	replica *Replica
 	metrics map[string]*endpointMetrics
 }
 
@@ -69,9 +81,26 @@ func WithMutations() ServerOption {
 	return func(s *server) { s.mutable = true }
 }
 
+// WithReplica attaches the replica whose replication progress the
+// server exposes: /stats gains a replica object and /metrics the
+// primary-epoch, lag, resync, and applied-entry series. The server
+// itself stays read-only — a replica's mutations arrive through its
+// journal-tailing loop, never over this handler.
+func WithReplica(rep *Replica) ServerOption {
+	return func(s *server) { s.replica = rep }
+}
+
+// Replication protocol headers: every /journal response reports the
+// primary's current epoch and compaction count, captured atomically
+// with the streamed entries.
+const (
+	headerEpoch       = "X-Minoaner-Epoch"
+	headerCompactions = "X-Minoaner-Compactions"
+)
+
 // serveRoutes are the instrumented endpoint labels, in the order the
 // /metrics exposition lists them.
-var serveRoutes = []string{"healthz", "stats", "metrics", "resolve", "delta", "upsert", "delete", "other"}
+var serveRoutes = []string{"healthz", "stats", "metrics", "resolve", "delta", "upsert", "delete", "journal", "snapshot", "other"}
 
 // NewServer returns an http.Handler serving resolution queries over the
 // index. It prepares the index's delta substrate (see Index.Prepare) if
@@ -94,6 +123,8 @@ func NewServer(ix *Index, opts ...ServerOption) http.Handler {
 	s.mux.HandleFunc("POST /delta", s.handleDelta)
 	s.mux.HandleFunc("POST /upsert", s.handleUpsert)
 	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("GET /journal", s.handleJournal)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	return s
 }
 
@@ -114,6 +145,10 @@ func routeLabel(path string) string {
 		return "upsert"
 	case "/delete":
 		return "delete"
+	case "/journal":
+		return "journal"
+	case "/snapshot":
+		return "snapshot"
 	}
 	return "other"
 }
@@ -142,6 +177,24 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Flush forwards http.Flusher, so streaming handlers (the /journal
+// tail) push each record to the client as it is written instead of
+// buffering the whole response until the handler returns.
+func (w *statusWriter) Flush() {
+	f, ok := w.ResponseWriter.(http.Flusher)
+	if !ok {
+		return
+	}
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	f.Flush()
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, which
+// reaches optional interfaces (deadlines, hijacking) through it.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	//minoaner:wallclock endpoint latency metric; feeds /metrics counters, never match output
@@ -200,7 +253,17 @@ type statsJSON struct {
 	PurgedBlocks           int                          `json:"purged_blocks"`
 	Shards                 int                          `json:"shards"`
 	Sharded                bool                         `json:"sharded"`
+	Replica                *replicaStatsJSON            `json:"replica,omitempty"`
 	Endpoints              map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+// replicaStatsJSON reports a replica server's replication progress.
+type replicaStatsJSON struct {
+	Primary      string `json:"primary"`
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	LagEpochs    uint64 `json:"lag_epochs"`
+	Resyncs      int64  `json:"resyncs"`
+	Applied      int64  `json:"entries_applied"`
 }
 
 type endpointStatsJSON struct {
@@ -227,8 +290,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		endpoints[route] = es
 	}
-	if s.mutable {
-		// Stats on a mutable server describe a moving target.
+	var replica *replicaStatsJSON
+	if s.replica != nil {
+		rs := s.replica.Status()
+		replica = &replicaStatsJSON{
+			Primary:      rs.Primary,
+			PrimaryEpoch: rs.PrimaryEpoch,
+			LagEpochs:    rs.Lag,
+			Resyncs:      rs.Resyncs,
+			Applied:      rs.Applied,
+		}
+	}
+	if s.mutable || s.replica != nil {
+		// Stats on a mutable (or replicating) server describe a moving
+		// target.
 		w.Header().Set("Cache-Control", "no-store")
 	}
 	writeJSON(w, http.StatusOK, statsJSON{
@@ -249,6 +324,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PurgedBlocks:           st.PurgedBlocks,
 		Shards:                 st.Shards,
 		Sharded:                e.sharded != nil,
+		Replica:                replica,
 		Endpoints:              endpoints,
 	})
 }
@@ -304,7 +380,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, g := range gauges {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
 	}
-	if s.mutable {
+	if s.replica != nil {
+		rs := s.replica.Status()
+		repSeries := []struct {
+			name, typ, help string
+			value           int64
+		}{
+			{"minoaner_replica_primary_epoch", "gauge", "Primary epoch last observed by the journal-tailing loop.", int64(rs.PrimaryEpoch)},
+			{"minoaner_replica_lag_epochs", "gauge", "Epochs the replica trails the primary (0 = caught up).", int64(rs.Lag)},
+			{"minoaner_replica_resyncs_total", "counter", "Full snapshot resyncs after journal truncation or divergence.", rs.Resyncs},
+			{"minoaner_replica_entries_applied_total", "counter", "Journal entries applied through Replay.", rs.Applied},
+		}
+		for _, g := range repSeries {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", g.name, g.help, g.name, g.typ, g.name, g.value)
+		}
+	}
+	if s.mutable || s.replica != nil {
 		w.Header().Set("Cache-Control", "no-store")
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -543,6 +634,99 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		Matches:  out.matches,
 		NoOp:     out.noop,
 	})
+}
+
+// journalEntryJSON is one NDJSON record of the /journal stream — the
+// wire form of a JournalEntry.
+type journalEntryJSON struct {
+	Seq      uint64   `json:"seq"`
+	Op       string   `json:"op"`
+	Side     int      `json:"side"`
+	Subjects []string `json:"subjects"`
+	Triples  int      `json:"triples,omitempty"`
+	Delta    []string `json:"delta,omitempty"`
+}
+
+// journalOpNames maps journal op codes to their wire names (and back,
+// via journalOpCode).
+func journalOpName(op byte) string {
+	switch op {
+	case JournalUpsert:
+		return "upsert"
+	case JournalDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+func journalOpCode(name string) (byte, error) {
+	switch name {
+	case "upsert":
+		return JournalUpsert, nil
+	case "delete":
+		return JournalDelete, nil
+	}
+	return 0, fmt.Errorf("unknown journal op %q", name)
+}
+
+// handleJournal streams the journal tail after the given cursor as
+// NDJSON, one entry per line, flushed as written so a tailing replica
+// sees entries without waiting for the response to finish. The
+// response headers carry the epoch and compaction count the entries
+// lead to; a cursor Compact has truncated past answers 410 Gone.
+func (s *server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid since=%q: %v", raw, err)
+			return
+		}
+		since = v
+	}
+	tail, err := s.ix.JournalSince(since)
+	w.Header().Set(headerEpoch, strconv.FormatUint(tail.Epoch, 10))
+	w.Header().Set(headerCompactions, strconv.FormatUint(tail.Compactions, 10))
+	w.Header().Set("Cache-Control", "no-store")
+	if err != nil {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range tail.Entries {
+		je := &tail.Entries[i]
+		rec := journalEntryJSON{
+			Seq:      je.Seq,
+			Op:       journalOpName(je.Op),
+			Side:     je.Side,
+			Subjects: je.Subjects,
+			Triples:  je.Triples,
+			Delta:    je.Delta,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return // client went away mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleSnapshot streams the index snapshot (SaveIndex bytes): the
+// bootstrap and resync source for replicas. Every section is
+// checksummed, so a transfer cut short fails the client's LoadIndex
+// instead of silently corrupting it. The write side is briefly
+// excluded while the snapshot streams (readers are unaffected), so the
+// bytes always describe one consistent epoch/journal pair.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	// On a mid-stream failure the status line is already out; the
+	// truncated body fails the client's checksum verification.
+	_ = SaveIndex(w, s.ix)
 }
 
 func (s *server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {

@@ -46,10 +46,19 @@ import (
 //	                          one record per absorbed Upsert/Delete
 //	                          since the last Compact. Written only for
 //	                          indexes past epoch 0 (or with journal
-//	                          entries); snapshots of mutated indexes
-//	                          persist the *mutated* state in sections
-//	                          1-8, so readers that skip this section
-//	                          still serve correct matches.
+//	                          entries, or a non-zero compaction count);
+//	                          snapshots of mutated indexes persist the
+//	                          *mutated* state in sections 1-8, so
+//	                          readers that skip this section still
+//	                          serve correct matches. After the entry
+//	                          list the section may carry a trailing
+//	                          extension — the Compact count and the
+//	                          per-entry replay payloads (upsert deltas
+//	                          as N-Triples lines) — that pre-extension
+//	                          readers ignore; it is omitted when
+//	                          everything in it would be empty, so
+//	                          resaving a pre-extension snapshot
+//	                          reproduces its bytes.
 //	section 10 (sharding):    shard count and the per-shard owned-entity
 //	                          counts of the URI-hash partition. Written
 //	                          only for sharded indexes (K > 1); the
@@ -103,7 +112,7 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	defer ix.mu.Unlock()
 	e := ix.cur.Load()
 
-	withJournal := e.seq > 0 || len(ix.journal) > 0
+	withJournal := e.seq > 0 || len(ix.journal) > 0 || ix.compactions.Load() > 0
 	sections := []uint64{snapConfig, snapKB1, snapKB2, snapNameBlocks, snapTokenBlocks, snapStats, snapMatches}
 	if e.prep != nil {
 		sections = append(sections, snapPrepared)
@@ -163,18 +172,7 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	}
 	if withJournal {
 		bw.Section(snapJournal, func(enc *binio.Writer) {
-			enc.Uvarint(e.seq)
-			enc.Int(len(ix.journal))
-			for _, je := range ix.journal {
-				enc.Uvarint(je.Seq)
-				enc.Uvarint(uint64(je.Op))
-				enc.Int(je.Side)
-				enc.Int(len(je.Subjects))
-				for _, s := range je.Subjects {
-					enc.Str(s)
-				}
-				enc.Int(je.Triples)
-			}
+			writeJournalSection(enc, e.seq, ix.journal, ix.compactions.Load())
 		})
 	}
 	if e.shards > 1 {
@@ -300,7 +298,44 @@ func readPreparedSection(b *binio.Reader, ix *Index) error {
 	return nil
 }
 
-// readJournalSection restores the epoch number and mutation journal.
+// writeJournalSection encodes section 9: the epoch number and journal
+// entries in the original layout, then — only when something in it
+// would be non-empty — a trailing extension with the compaction count
+// and the per-entry replay payloads. Pre-extension readers stop after
+// the entry list and ignore the tail; omitting an all-empty tail keeps
+// resaves of pre-extension snapshots bit-identical.
+func writeJournalSection(enc *binio.Writer, seq uint64, journal []JournalEntry, compactions uint64) {
+	enc.Uvarint(seq)
+	enc.Int(len(journal))
+	withTail := compactions > 0
+	for _, je := range journal {
+		enc.Uvarint(je.Seq)
+		enc.Uvarint(uint64(je.Op))
+		enc.Int(je.Side)
+		enc.Int(len(je.Subjects))
+		for _, s := range je.Subjects {
+			enc.Str(s)
+		}
+		enc.Int(je.Triples)
+		if len(je.Delta) > 0 {
+			withTail = true
+		}
+	}
+	if !withTail {
+		return
+	}
+	enc.Uvarint(compactions)
+	for _, je := range journal {
+		enc.Int(len(je.Delta))
+		for _, line := range je.Delta {
+			enc.Str(line)
+		}
+	}
+}
+
+// readJournalSection restores the epoch number, the mutation journal,
+// and — when the extension tail is present — the compaction count and
+// replay payloads.
 func readJournalSection(b *binio.Reader, ix *Index) error {
 	e := ix.cur.Load()
 	seq := b.Uvarint()
@@ -308,8 +343,11 @@ func readJournalSection(b *binio.Reader, ix *Index) error {
 	if b.Err() == nil && n > 1<<24 {
 		b.Fail("absurd journal length %d", n)
 	}
+	if b.Err() == nil && uint64(n) > seq {
+		b.Fail("journal of %d entries cannot cover epochs up to %d", n, seq)
+	}
 	entries := make([]JournalEntry, 0, min(n, 1<<16))
-	prev := uint64(0)
+	base := seq - uint64(n)
 	for i := 0; i < n && b.Err() == nil; i++ {
 		var je JournalEntry
 		je.Seq = b.Uvarint()
@@ -327,11 +365,13 @@ func readJournalSection(b *binio.Reader, ix *Index) error {
 			b.Fail("journal entry %d has invalid side %d", i, je.Side)
 			break
 		}
-		if je.Seq <= prev || je.Seq > seq {
-			b.Fail("journal entry %d out of sequence (%d after %d, epoch %d)", i, je.Seq, prev, seq)
+		// The journal is contiguous by construction: entry i produced
+		// epoch base+i+1 and the last entry produced the current epoch.
+		// JournalSince's cursor arithmetic depends on it.
+		if je.Seq != base+uint64(i)+1 {
+			b.Fail("journal entry %d out of sequence (epoch %d, want %d)", i, je.Seq, base+uint64(i)+1)
 			break
 		}
-		prev = je.Seq
 		if nSub > 1<<24 {
 			b.Fail("absurd subject count %d", nSub)
 			break
@@ -344,6 +384,29 @@ func readJournalSection(b *binio.Reader, ix *Index) error {
 	}
 	if err := b.Err(); err != nil {
 		return fmt.Errorf("%w: journal: %v", ErrSnapshotCorrupt, err)
+	}
+	if b.More() {
+		ix.compactions.Store(b.Uvarint())
+		for i := 0; i < len(entries) && b.Err() == nil; i++ {
+			nd := b.Int()
+			if b.Err() != nil {
+				break
+			}
+			if nd < 0 || nd > 1<<24 {
+				b.Fail("absurd delta length %d", nd)
+				break
+			}
+			if nd > 0 && entries[i].Op != JournalUpsert {
+				b.Fail("journal entry %d: delete carries a delta payload", i)
+				break
+			}
+			for j := 0; j < nd && b.Err() == nil; j++ {
+				entries[i].Delta = append(entries[i].Delta, b.Str())
+			}
+		}
+		if err := b.Err(); err != nil {
+			return fmt.Errorf("%w: journal extension: %v", ErrSnapshotCorrupt, err)
+		}
 	}
 	e.seq = seq
 	ix.journal = entries
