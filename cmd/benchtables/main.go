@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -234,8 +235,9 @@ func writeIngestBench(path string, datasets []*datagen.Dataset, seed int64, scal
 }
 
 // queryDatasetJSON profiles the query path of one benchmark: index
-// build and snapshot round-trip cost, then the latency of resolving
-// every KB2 entity one query at a time against the loaded index.
+// build and snapshot round-trip cost, eager-vs-mapped cold start from
+// the snapshot file, then the latency of resolving every KB2 entity
+// one query at a time against the loaded index.
 type queryDatasetJSON struct {
 	Name          string `json:"name"`
 	Entities1     int    `json:"entities1"`
@@ -244,14 +246,80 @@ type queryDatasetJSON struct {
 	BuildNano     int64  `json:"build_ns"`
 	SnapshotBytes int    `json:"snapshot_bytes"`
 	SaveNano      int64  `json:"save_ns"`
-	LoadNano      int64  `json:"load_ns"`
-	Queries       int    `json:"queries"`
-	TotalNano     int64  `json:"total_query_ns"`
-	MeanNano      int64  `json:"mean_query_ns"`
-	P50Nano       int64  `json:"p50_query_ns"`
-	P95Nano       int64  `json:"p95_query_ns"`
-	P99Nano       int64  `json:"p99_query_ns"`
-	MaxNano       int64  `json:"max_query_ns"`
+	// LoadNano and LoadFirstQueryNano are the eager cold start:
+	// LoadIndexFile (decode everything) plus the first query. OpenNano
+	// and OpenFirstQueryNano are the mapped cold start: OpenIndexFile
+	// (map, decode the eager tier only) plus the first query.
+	// ColdStartSpeedup is (load+first)/(open+first) — how much sooner a
+	// mapped server answers its first query.
+	LoadNano           int64   `json:"load_ns"`
+	LoadFirstQueryNano int64   `json:"load_first_query_ns"`
+	OpenNano           int64   `json:"open_ns"`
+	OpenFirstQueryNano int64   `json:"open_first_query_ns"`
+	ColdStartSpeedup   float64 `json:"cold_start_speedup"`
+	Queries            int     `json:"queries"`
+	TotalNano          int64   `json:"total_query_ns"`
+	MeanNano           int64   `json:"mean_query_ns"`
+	P50Nano            int64   `json:"p50_query_ns"`
+	P95Nano            int64   `json:"p95_query_ns"`
+	P99Nano            int64   `json:"p99_query_ns"`
+	MaxNano            int64   `json:"max_query_ns"`
+}
+
+// coldStartReps is how many times each cold start is measured; the
+// recorded pair is the rep with the median total.
+const coldStartReps = 5
+
+// measureColdStart times open(path) plus the first query, coldStartReps
+// times, and returns the median rep's numbers plus one opened index.
+// Only the last rep's index is kept alive — holding every rep's decoded
+// index would inflate later reps with GC pressure.
+func measureColdStart(path, firstURI string, open func(string) (*minoaner.Index, error)) (openNano, firstNano int64, ix *minoaner.Index, err error) {
+	type rep struct{ open, first int64 }
+	reps := make([]rep, 0, coldStartReps)
+	for i := 0; i < coldStartReps; i++ {
+		ix = nil
+		runtime.GC() // keep the previous rep's garbage out of this one
+		t0 := time.Now()
+		ix, err = open(path)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		openNano := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		ix.Query(firstURI)
+		reps = append(reps, rep{open: openNano, first: time.Since(t0).Nanoseconds()})
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].open+reps[i].first < reps[j].open+reps[j].first })
+	r := reps[len(reps)/2]
+	return r.open, r.first, ix, nil
+}
+
+// smallDelta extracts the triples of the first n KB2 subjects as a
+// delta KB — enough to drive the prepared delta path.
+func smallDelta(b *minoaner.Benchmark, n int) (*minoaner.KB, error) {
+	var nt bytes.Buffer
+	if err := b.WriteKB2(&nt); err != nil {
+		return nil, err
+	}
+	subjects := make(map[string]bool, n)
+	for i, uri := range b.KB2.URIs() {
+		if i >= n {
+			break
+		}
+		tok := "<" + uri + ">"
+		if strings.HasPrefix(uri, "_:") {
+			tok = uri
+		}
+		subjects[tok] = true
+	}
+	var sel []string
+	for _, line := range strings.Split(nt.String(), "\n") {
+		if i := strings.IndexByte(line, ' '); i > 0 && subjects[line[:i]] {
+			sel = append(sel, line)
+		}
+	}
+	return minoaner.LoadKB("delta", strings.NewReader(strings.Join(sel, "\n")+"\n"))
 }
 
 // queryBenchJSON is the BENCH_query.json document: the serving-path
@@ -281,6 +349,11 @@ func writeQueryBench(path string, seed int64, scale float64) error {
 			return err
 		}
 		buildNano := time.Since(t0).Nanoseconds()
+		// Freeze the delta substrate into the snapshot (the serve-ready
+		// shape), so the mapped cold start is measured against the
+		// snapshot a production server would actually open — including
+		// the lazily decoded prepared section.
+		built.Prepare()
 
 		var snap bytes.Buffer
 		t0 = time.Now()
@@ -288,12 +361,51 @@ func writeQueryBench(path string, seed int64, scale float64) error {
 			return err
 		}
 		saveNano := time.Since(t0).Nanoseconds()
-		t0 = time.Now()
-		ix, err := minoaner.LoadIndex(bytes.NewReader(snap.Bytes()))
+
+		// Cold start from a real snapshot file, eager vs mapped: each
+		// rep opens the file from scratch and answers one query.
+		snapFile, err := os.CreateTemp("", "benchtables-*.msnp")
 		if err != nil {
 			return err
 		}
-		loadNano := time.Since(t0).Nanoseconds()
+		snapPath := snapFile.Name()
+		defer os.Remove(snapPath)
+		if _, err := snapFile.Write(snap.Bytes()); err != nil {
+			snapFile.Close()
+			return err
+		}
+		if err := snapFile.Close(); err != nil {
+			return err
+		}
+		firstURI := b.KB2.URIs()[0]
+		loadNano, loadFirstNano, ix, err := measureColdStart(snapPath, firstURI, minoaner.LoadIndexFile)
+		if err != nil {
+			return err
+		}
+		openNano, openFirstNano, mapped, err := measureColdStart(snapPath, firstURI, minoaner.OpenIndexFile)
+		if err != nil {
+			return err
+		}
+
+		// Bit-identity guards for the mapped path: a small delta through
+		// the (lazily decoded) prepared substrate, then the full query
+		// sweep below compares every answer against the eager index.
+		delta, err := smallDelta(b, 4)
+		if err != nil {
+			return err
+		}
+		mappedRes, err := mapped.QueryKB(context.Background(), delta)
+		if err != nil {
+			return err
+		}
+		eagerRes, err := ix.QueryKB(context.Background(), delta)
+		if err != nil {
+			return err
+		}
+		if !sameMatches(mappedRes.Matches, eagerRes.Matches) {
+			return fmt.Errorf("%s: mapped QueryKB diverges from eager (%d vs %d matches)",
+				name, len(mappedRes.Matches), len(eagerRes.Matches))
+		}
 
 		// Per-query latency over every KB2 entity, plus the equality
 		// guard: the union of the answers must be the full match set.
@@ -315,6 +427,9 @@ func writeQueryBench(path string, seed int64, scale float64) error {
 			d := time.Since(q0).Nanoseconds()
 			lat = append(lat, d)
 			total += d
+			if mr := mapped.Query(uri); !reflect.DeepEqual(mr, results) {
+				return fmt.Errorf("%s: mapped Query(%q) diverges from eager", name, uri)
+			}
 			for _, m := range results[0].Matches {
 				got[m] = true
 			}
@@ -330,16 +445,22 @@ func writeQueryBench(path string, seed int64, scale float64) error {
 
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		entry := queryDatasetJSON{
-			Name:          b.Name,
-			Entities1:     b.KB1.Len(),
-			Entities2:     b.KB2.Len(),
-			Matches:       len(batchMatches),
-			BuildNano:     buildNano,
-			SnapshotBytes: snap.Len(),
-			SaveNano:      saveNano,
-			LoadNano:      loadNano,
-			Queries:       len(lat),
-			TotalNano:     total,
+			Name:               b.Name,
+			Entities1:          b.KB1.Len(),
+			Entities2:          b.KB2.Len(),
+			Matches:            len(batchMatches),
+			BuildNano:          buildNano,
+			SnapshotBytes:      snap.Len(),
+			SaveNano:           saveNano,
+			LoadNano:           loadNano,
+			LoadFirstQueryNano: loadFirstNano,
+			OpenNano:           openNano,
+			OpenFirstQueryNano: openFirstNano,
+			Queries:            len(lat),
+			TotalNano:          total,
+		}
+		if mappedCold := openNano + openFirstNano; mappedCold > 0 {
+			entry.ColdStartSpeedup = float64(loadNano+loadFirstNano) / float64(mappedCold)
 		}
 		if n := len(lat); n > 0 {
 			entry.MeanNano = total / int64(n)
@@ -1099,6 +1220,20 @@ func applyRefMutation(ts, delta []rdf.Triple, deletes []string) []rdf.Triple {
 		}
 	}
 	return append(out, delta...)
+}
+
+// sameMatches compares public match slices treating nil and empty as
+// equal.
+func sameMatches(a, b []minoaner.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // samePairs compares match slices treating nil and empty as equal.

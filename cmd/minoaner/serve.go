@@ -26,6 +26,7 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("minoaner serve", flag.ExitOnError)
 	mc := declareMatchFlags(fs)
 	indexPath := fs.String("index", "", "snapshot file to serve (from 'minoaner snapshot'); overrides -kb1/-kb2")
+	eager := fs.Bool("eager", false, "with -index: decode the whole snapshot at startup instead of mapping it and decoding sections on first use")
 	mutable := fs.Bool("mutable", false, "enable POST /upsert and /delete: live entity mutations with atomic epoch swaps (requires an index with retained sources)")
 	shards := fs.Int("shards", 0, "shard the index substrate into this many hash partitions: /delta scatters across them in parallel and mutations patch only the owning shards, with bit-identical answers (0 keeps the index's own shard count; 1 forces unsharded)")
 	replica := fs.Bool("replica", false, "serve as a read replica: bootstrap from -primary's /snapshot and tail its /journal (conflicts with -mutable, -index, -kb1/-kb2, -shards)")
@@ -84,11 +85,20 @@ func runServe(args []string) {
 		}()
 	case *indexPath != "":
 		var err error
-		ix, err = minoaner.LoadIndexFile(*indexPath)
+		verb := "mapped"
+		if *eager {
+			ix, err = minoaner.LoadIndexFile(*indexPath)
+			verb = "loaded"
+		} else {
+			// The default: mmap the snapshot and decode lazily, so the
+			// server answers its first query almost immediately; the
+			// heavier delta-path structures decode on first use.
+			ix, err = minoaner.OpenIndexFile(*indexPath)
+		}
 		if err != nil {
 			log.Fatalf("loading %s: %v", *indexPath, err)
 		}
-		fmt.Fprintf(os.Stderr, "index %s loaded in %v\n", *indexPath, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "index %s %s in %v\n", *indexPath, verb, time.Since(start).Round(time.Millisecond))
 	default:
 		kb1, kb2 := mc.loadKBs(fs)
 		var err error
@@ -115,10 +125,11 @@ func runServe(args []string) {
 		}
 		serverOpts = append(serverOpts, minoaner.WithMutations())
 	}
-	st := ix.Stats()
+	// The startup summary sticks to open-time state (Stats would force
+	// a mapped index to decode its KB bulk before serving).
 	shardNote := ""
-	if st.Shards > 1 {
-		shardNote = fmt.Sprintf(", %d shards", st.Shards)
+	if k := ix.Shards(); k > 1 {
+		shardNote = fmt.Sprintf(", %d shards", k)
 	}
 	modeNote := ""
 	switch {
@@ -128,7 +139,7 @@ func runServe(args []string) {
 		modeNote = ", replica"
 	}
 	fmt.Fprintf(os.Stderr, "serving %d matches over %d+%d entities (epoch %d%s%s)\n",
-		st.Matches, st.KB1.Entities, st.KB2.Entities, st.Epoch, modeNote, shardNote)
+		ix.NumMatches(), ix.KB1().Len(), ix.KB2().Len(), ix.Epoch(), modeNote, shardNote)
 
 	srv := &http.Server{
 		Addr:              *addr,

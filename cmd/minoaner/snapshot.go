@@ -88,36 +88,38 @@ func compactSnapshot(in, out string) {
 		in, out, time.Since(start).Round(time.Millisecond), ix.Epoch(), entries, float64(info.Size())/(1<<20))
 }
 
-// inspectSnapshot loads a snapshot and prints its contents.
+// inspectSnapshot describes a snapshot from its section directory —
+// O(header), not O(index): the KB and substrate bulk is never decoded,
+// so inspecting a multi-gigabyte snapshot is as fast as a tiny one.
 func inspectSnapshot(path string) {
 	start := time.Now()
-	ix, err := minoaner.LoadIndexFile(path)
+	si, err := minoaner.InspectIndexFile(path)
 	if err != nil {
-		log.Fatalf("loading %s: %v", path, err)
+		log.Fatalf("inspecting %s: %v", path, err)
 	}
-	st := ix.Stats()
-	cfg := ix.Config()
-	fmt.Printf("snapshot %s (loaded in %v)\n", path, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  KB1: %s — %d entities, %d triples\n", ix.KB1().Name(), st.KB1.Entities, st.KB1.Triples)
-	fmt.Printf("  KB2: %s — %d entities, %d triples\n", ix.KB2().Name(), st.KB2.Entities, st.KB2.Triples)
+	cfg := si.Config
+	fmt.Printf("snapshot %s (inspected in %v, %.1f MB)\n",
+		path, time.Since(start).Round(time.Millisecond), float64(si.Size)/(1<<20))
+	fmt.Printf("  KB1: %s — %d entities, %d triples\n", si.KB1.Name, si.KB1.Entities, si.KB1.Triples)
+	fmt.Printf("  KB2: %s — %d entities, %d triples\n", si.KB2.Name, si.KB2.Entities, si.KB2.Triples)
 	fmt.Printf("  config: K=%d N=%d names=%d theta=%g\n", cfg.K, cfg.N, cfg.NameAttributes, cfg.Theta)
 	fmt.Printf("  blocks: |BN|=%d ||BN||=%d |BT|=%d ||BT||=%d purged=%d\n",
-		st.NameBlocks, st.NameComparisons, st.TokenBlocks, st.TokenComparisons, st.PurgedBlocks)
+		si.NameBlocks, si.NameComparisons, si.TokenBlocks, si.TokenComparisons, si.PurgedBlocks)
 	fmt.Printf("  matches: %d (H1=%d H2=%d H3=%d, H4 discarded %d)\n",
-		st.Matches, st.ByName, st.ByValue, st.ByRank, st.DiscardedByReciprocity)
-	if ix.Prepared() {
+		si.Matches, si.ByName, si.ByValue, si.ByRank, si.DiscardedByH4)
+	if si.Prepared {
 		fmt.Printf("  delta substrate: prepared (O(|delta|) /delta queries)\n")
 	} else {
 		fmt.Printf("  delta substrate: absent (built on demand; re-snapshot with -prepare to persist it)\n")
 	}
-	if st.Shards > 1 {
-		fmt.Printf("  sharding: %d hash partitions (scatter-gather /delta, owner-routed mutations)\n", st.Shards)
+	if si.Shards > 1 {
+		fmt.Printf("  sharding: %d hash partitions (scatter-gather /delta, owner-routed mutations)\n", si.Shards)
 	} else {
 		fmt.Printf("  sharding: none (re-snapshot with -shards k to partition the substrate)\n")
 	}
-	if ix.Mutable() {
+	if si.Mutable() {
 		fmt.Printf("  mutability: sources retained — epoch %d, %d journal entries (serve -mutable accepts /upsert and /delete)\n",
-			ix.Epoch(), st.JournalLength)
+			si.Epoch, si.JournalEntries)
 	} else {
 		fmt.Printf("  mutability: read-only (no retained sources; rebuild the snapshot from .nt inputs to mutate it)\n")
 	}

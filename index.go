@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"minoaner/internal/binio"
 	"minoaner/internal/blocking"
 	"minoaner/internal/core"
 	"minoaner/internal/eval"
@@ -59,6 +60,11 @@ type Index struct {
 	// replica that observes the primary's count move past its own must
 	// resync from a snapshot rather than keep replaying.
 	compactions atomic.Uint64
+
+	// mapped is the snapshot mapping behind an index opened with
+	// OpenIndexFile/OpenIndex, nil otherwise; Close releases it.
+	// Guarded by mu.
+	mapped *binio.Map
 }
 
 // epoch is one immutable resolution state. Every field is final once
@@ -101,6 +107,12 @@ type epoch struct {
 	// never pin the intermediate build artifacts). Mutated epochs
 	// always carry one.
 	cache *pipeline.Cache
+
+	// lazy holds the undecoded remainder of a mapped snapshot (see
+	// mapped.go); nil for built or eagerly loaded epochs, and cleared
+	// by materializeLocked's concrete clone. Access the guarded fields
+	// through blocks()/preparedSide(), never directly.
+	lazy *lazyParts
 }
 
 // mutator owns the write-side triple stores of a mutable index.
@@ -244,6 +256,11 @@ func (ix *Index) Matches() []Match {
 	return out
 }
 
+// NumMatches returns the size of the match set — unlike Stats, it
+// never forces a mapped index's lazy tiers (the match lists decode at
+// open).
+func (ix *Index) NumMatches() int { return len(ix.cur.Load().matches) }
+
 // IndexStats summarizes an index for monitoring (the /stats payload of
 // the serve endpoint).
 type IndexStats struct {
@@ -364,6 +381,23 @@ func (ix *Index) Prepare() {
 	if e.prep != nil {
 		return
 	}
+	// A mapped index may carry the substrate undecoded; a decode (or
+	// KB1 materialization) failure latches in the lazy parts and
+	// surfaces through the fallible entry points — Prepare itself stays
+	// infallible, like calling it on an index that is already prepared.
+	prep, sharded, err := e.preparedSide()
+	if err != nil {
+		return
+	}
+	if prep != nil {
+		ne := e.clone()
+		ne.prep, ne.sharded = prep, sharded
+		ix.cur.Store(ne)
+		return
+	}
+	if e.materializeKB1() != nil {
+		return
+	}
 	ne := e.clone()
 	if e.cache != nil {
 		ne.prep = prepFromCache(e.kb1.kb, e.cfg, e.cache)
@@ -404,9 +438,9 @@ func prepFromCache(kb1 *kb.KB, cfg Config, cache *pipeline.Cache) *pipeline.Prep
 }
 
 // Prepared reports whether the prepared-side substrate is available
-// (built by Prepare, loaded from a snapshot that carried it, or
-// derived by a mutation).
-func (ix *Index) Prepared() bool { return ix.cur.Load().prep != nil }
+// (built by Prepare, loaded from a snapshot that carried it — decoded
+// or still mapped — or derived by a mutation).
+func (ix *Index) Prepared() bool { return ix.cur.Load().hasPrepared() }
 
 // setPreparedSide installs a substrate restored from a snapshot (load
 // time, before the index is shared).
@@ -440,12 +474,22 @@ func (ix *Index) setShards(k int) {
 // the serve layer's /delta) for genuinely new descriptions.
 func (ix *Index) QueryKB(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
 	e := ix.cur.Load()
+	// Every path scores against KB1's full tier; on a mapped index the
+	// first call pays the one-time decode here (and a checksum failure
+	// surfaces as an error, not a crash).
+	if err := e.materializeKB1(); err != nil {
+		return nil, err
+	}
 	if delta.Len() < e.kb1.Len() {
-		if e.sharded != nil {
-			return e.querySharded(ctx, delta, opts...)
+		prep, sharded, err := e.preparedSide()
+		if err != nil {
+			return nil, err
 		}
-		if e.prep != nil {
-			return e.queryPrepared(ctx, delta, opts...)
+		if sharded != nil {
+			return e.querySharded(ctx, sharded, delta, opts...)
+		}
+		if prep != nil {
+			return e.queryPrepared(ctx, prep, delta, opts...)
 		}
 	}
 	return e.queryFull(ctx, delta, opts...)
@@ -464,7 +508,11 @@ func (ix *Index) QueryKBFast(ctx context.Context, delta *KB, opts ...ResolveOpti
 // against the prepared path; QueryKB is the right entry point for
 // serving.
 func (ix *Index) QueryKBFull(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
-	return ix.cur.Load().queryFull(ctx, delta, opts...)
+	e := ix.cur.Load()
+	if err := e.materializeKB1(); err != nil {
+		return nil, err
+	}
+	return e.queryFull(ctx, delta, opts...)
 }
 
 func (e *epoch) queryFull(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
@@ -472,13 +520,13 @@ func (e *epoch) queryFull(ctx context.Context, delta *KB, opts ...ResolveOption)
 }
 
 // queryPrepared runs the delta plan against the epoch's frozen
-// substrate.
-func (e *epoch) queryPrepared(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+// substrate (passed in, since a mapped epoch resolves it lazily).
+func (e *epoch) queryPrepared(ctx context.Context, prep *pipeline.Prepared, delta *KB, opts ...ResolveOption) (*Result, error) {
 	var o resolveOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	res, err := core.RunDelta(ctx, e.prep, delta.kb, e.cfg.internal(), o.pipelineProgress(), o.progress != nil)
+	res, err := core.RunDelta(ctx, prep, delta.kb, e.cfg.internal(), o.pipelineProgress(), o.progress != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -488,12 +536,12 @@ func (e *epoch) queryPrepared(ctx context.Context, delta *KB, opts ...ResolveOpt
 // querySharded scatters the delta across the epoch's K sub-substrates
 // and gathers the ranked candidates through cross-shard merges —
 // bit-identical to queryPrepared over the unsplit substrate.
-func (e *epoch) querySharded(ctx context.Context, delta *KB, opts ...ResolveOption) (*Result, error) {
+func (e *epoch) querySharded(ctx context.Context, sharded *pipeline.ShardedPrepared, delta *KB, opts ...ResolveOption) (*Result, error) {
 	var o resolveOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	res, err := core.RunSharded(ctx, e.sharded, delta.kb, e.cfg.internal(), o.pipelineProgress(), o.progress != nil)
+	res, err := core.RunSharded(ctx, sharded, delta.kb, e.cfg.internal(), o.pipelineProgress(), o.progress != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -570,6 +618,12 @@ func (ix *Index) applyMutation(ctx context.Context, side int, delta *KB, uris []
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
+	// Mutations derive the next epoch from the previous one's concrete
+	// structures; a mapped epoch decodes fully first (copy-on-write
+	// never touches the mapping).
+	if err := ix.materializeLocked(); err != nil {
+		return mutationOutcome{}, err
+	}
 	e := ix.cur.Load()
 	if err := ix.ensureMutator(ctx, e); err != nil {
 		return mutationOutcome{}, err
@@ -736,8 +790,12 @@ func (ix *Index) Shards() int { return ix.cur.Load().shards }
 // Sharded reports whether scatter-gather resolution is active: the
 // shard count exceeds 1 and the partitioned substrate has been derived
 // (which happens with Prepare, the first mutation, or a snapshot load
-// that carried the prepared side).
-func (ix *Index) Sharded() bool { return ix.cur.Load().sharded != nil }
+// that carried the prepared side — on a mapped index the substrate may
+// still be undecoded, which counts as available).
+func (ix *Index) Sharded() bool {
+	e := ix.cur.Load()
+	return e.sharded != nil || (e.shards > 1 && e.hasPrepared())
+}
 
 // Reshard re-partitions the index into k shards (1 = unsharded). The
 // call re-splits the current substrate — O(|KB1|) once — and leaves
@@ -754,6 +812,13 @@ func (ix *Index) Reshard(k int) error {
 	if e.shards == k {
 		return nil
 	}
+	// A cloned mapped epoch would re-verify the old shard count against
+	// the snapshot on decode; re-partitioning starts from concrete
+	// structures instead.
+	if err := ix.materializeLocked(); err != nil {
+		return err
+	}
+	e = ix.cur.Load()
 	ne := e.clone()
 	ne.shards = k
 	if e.cache != nil {
@@ -932,6 +997,12 @@ func (ix *Index) replaceState(src *Index) {
 	ix.compactions.Store(src.compactions.Load())
 	ix.cur.Store(src.cur.Load())
 	ix.journalLen.Store(int64(len(ix.journal)))
+	// Ownership of a mapped source's mapping transfers too, so the
+	// adopting index's Close releases it. Any mapping ix held before is
+	// only reachable through old epoch pointers now; its finalizer
+	// reclaims it once those drain.
+	ix.mapped = src.mapped
+	src.mapped = nil
 }
 
 // SaveIndexFile writes the index snapshot to a file atomically: the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -140,6 +141,38 @@ func (l *Loader) resolve(pat string) string {
 	return filepath.Join(l.Base, pat)
 }
 
+// unixGOOS mirrors the go tool's set of targets matching the "unix"
+// build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildConstraintSatisfied reports whether a file's //go:build line (if
+// any) matches the current platform, so platform-gated files are
+// excluded the way the go tool excludes them — otherwise their
+// alternative declarations collide during type checking. Only the
+// tags this module's files gate on are evaluated (GOOS, GOARCH, unix,
+// gc); unknown tags evaluate false.
+func buildConstraintSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if expr, err := constraint.Parse(trimmed); err == nil {
+				return expr.Eval(func(tag string) bool {
+					return tag == runtime.GOOS || tag == runtime.GOARCH ||
+						tag == "gc" || (tag == "unix" && unixGOOS[runtime.GOOS])
+				})
+			}
+			continue
+		}
+		// Constraints must precede the first non-comment line.
+		break
+	}
+	return true
+}
+
 // goDirs walks root collecting every directory holding .go files.
 func goDirs(root string) ([]string, error) {
 	var dirs []string
@@ -204,7 +237,14 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}

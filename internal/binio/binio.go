@@ -161,10 +161,18 @@ func (w *Writer) End() { w.Uvarint(EndSection) }
 // Reader decodes primitives from an io.Reader with a sticky error.
 // After any failure, subsequent reads return zero values; callers check
 // Err once.
+//
+// A Reader constructed with NewBytesReader runs in data mode: reads are
+// bounds checks plus position bumps over the backing slice, and bulk
+// reads (readN, Blob, section payloads) return subslices of it instead
+// of copying. Strings still copy (Str builds a Go string), so decoded
+// structures never alias the backing slice through a string.
 type Reader struct {
-	r   io.ByteReader
-	in  io.Reader
-	err error
+	r    io.ByteReader
+	in   io.Reader
+	data []byte // data mode: backing slice (nil in stream mode)
+	pos  int    // data mode: read position within data
+	err  error
 }
 
 // NewReader returns a Reader over r.
@@ -180,6 +188,46 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: br, in: br}
 }
 
+// NewBytesReader returns a data-mode Reader over data: bulk reads
+// return subslices of data rather than copies, so they are valid only
+// as long as data is (in particular, until a backing mapping is
+// unmapped). All other semantics match NewReader over a bytes.Reader.
+func NewBytesReader(data []byte) *Reader {
+	r := &Reader{data: data}
+	s := &sliceStream{r: r}
+	r.r, r.in = s, s
+	return r
+}
+
+// sliceStream adapts a data-mode Reader's backing slice to the
+// io.Reader/io.ByteReader/Len surface the stream-mode code paths
+// expect, sharing the Reader's position so nested stream decoders
+// (Embedded) advance the parent.
+type sliceStream struct{ r *Reader }
+
+func (s *sliceStream) Read(p []byte) (int, error) {
+	d := s.r
+	if d.pos >= len(d.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.data[d.pos:])
+	d.pos += n
+	return n, nil
+}
+
+func (s *sliceStream) ReadByte() (byte, error) {
+	d := s.r
+	if d.pos >= len(d.data) {
+		return 0, io.EOF
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// Len reports the unread byte count (makes More precise in data mode).
+func (s *sliceStream) Len() int { return len(s.r.data) - s.r.pos }
+
 // Err returns the latched error, if any.
 func (r *Reader) Err() error { return r.err }
 
@@ -194,6 +242,15 @@ func (r *Reader) Fail(format string, args ...any) {
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
+	}
+	if r.data != nil {
+		v, k := binary.Uvarint(r.data[r.pos:])
+		if k <= 0 {
+			r.Fail("truncated or overlong varint")
+			return 0
+		}
+		r.pos += k
+		return v
 	}
 	v, err := binary.ReadUvarint(r.r)
 	if err != nil {
@@ -239,15 +296,28 @@ func (r *Reader) Str() string {
 	return string(r.readN(n))
 }
 
-// readN reads exactly n bytes. The buffer grows with the bytes actually
-// arriving (io.CopyN over a growing buffer) rather than being allocated
-// up front, so a corrupt length prefix on a short stream fails with
+// readN reads exactly n bytes. In data mode it returns a capacity-
+// clipped subslice of the backing slice (zero copy; a damaged length
+// prefix is caught by a bounds check before any int conversion). In
+// stream mode the buffer grows with the bytes actually arriving
+// (io.CopyN over a growing buffer) rather than being allocated up
+// front, so a corrupt length prefix on a short stream fails with
 // ErrCorrupt and modest memory instead of attempting one huge
 // allocation — and values beyond the platform's int cannot overflow a
 // make call.
 func (r *Reader) readN(n uint64) []byte {
 	if r.err != nil || n == 0 {
 		return nil
+	}
+	if r.data != nil {
+		if n > uint64(len(r.data)-r.pos) {
+			r.Fail("truncated: %d bytes wanted, %d remain", n, len(r.data)-r.pos)
+			return nil
+		}
+		end := r.pos + int(n)
+		p := r.data[r.pos:end:end]
+		r.pos = end
+		return p
 	}
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, r.in, int64(n)); err != nil {
@@ -260,6 +330,39 @@ func (r *Reader) readN(n uint64) []byte {
 // Float reads a float64 written by Writer.Float.
 func (r *Reader) Float() float64 {
 	return math.Float64frombits(r.Uvarint())
+}
+
+// Skip advances past n raw bytes without materializing them — a
+// position bump in data mode, a discard copy in stream mode.
+func (r *Reader) Skip(n uint64) {
+	if r.err != nil || n == 0 {
+		return
+	}
+	if r.data != nil {
+		if n > uint64(len(r.data)-r.pos) {
+			r.Fail("truncated: %d bytes to skip, %d remain", n, len(r.data)-r.pos)
+			return
+		}
+		r.pos += int(n)
+		return
+	}
+	if _, err := io.CopyN(io.Discard, r.in, int64(n)); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+}
+
+// SkipStr skips one length-prefixed string without building it —
+// the allocation-free counterpart of Str for lazy scans.
+func (r *Reader) SkipStr() {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n > maxStringBytes {
+		r.Fail("absurd string length %d", n)
+		return
+	}
+	r.Skip(n)
 }
 
 // ReadFull fills buf with raw bytes (the counterpart of Writer.Raw).
@@ -396,5 +499,5 @@ func (r *Reader) Section() (uint64, *Reader) {
 		r.err = fmt.Errorf("%w: section %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, id, got, want)
 		return EndSection, nil
 	}
-	return id, NewReader(bytes.NewReader(payload))
+	return id, NewBytesReader(payload)
 }

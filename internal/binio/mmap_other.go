@@ -1,0 +1,21 @@
+//go:build !unix
+
+package binio
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile has no mmap on this platform: read the file into memory.
+// Lazy decoding still applies; only residency differs.
+func mmapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

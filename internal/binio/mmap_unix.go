@@ -1,0 +1,26 @@
+//go:build unix
+
+package binio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and returns the mapping with
+// its release function. A zero-size file maps to an empty slice (mmap
+// rejects zero-length mappings).
+func mmapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, os.NewSyscallError("mmap", err)
+	}
+	return data, syscall.Munmap, nil
+}

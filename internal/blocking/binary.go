@@ -41,7 +41,7 @@ const collectionVersion = 1
 
 // Section IDs of the collection frame.
 //
-//minoaner:sections writer=WriteBinary reader=ReadBinary
+//minoaner:sections writer=WriteBinary reader=readCollection
 const (
 	secCollHeader = 1
 	secCollBlocks = 2
@@ -83,7 +83,17 @@ func (c *Collection) WriteBinary(w io.Writer) error {
 // verifying the per-section checksums and that every member ID is in
 // range for the recorded KB sizes.
 func ReadBinary(r io.Reader) (*Collection, error) {
-	dec := binio.NewReader(r)
+	return readCollection(binio.NewReader(r))
+}
+
+// ReadBinaryData deserializes a collection from an in-memory image
+// (typically a mapped snapshot section) through the data-mode reader,
+// which slices instead of copying payload bytes.
+func ReadBinaryData(data []byte) (*Collection, error) {
+	return readCollection(binio.NewBytesReader(data))
+}
+
+func readCollection(dec *binio.Reader) (*Collection, error) {
 	dec.Magic(collectionMagic)
 	dec.Version(collectionVersion)
 	bodies := dec.Sections()
@@ -150,7 +160,7 @@ const preparedVersion = 1
 
 // Section IDs of the prepared-substrate frame.
 //
-//minoaner:sections writer=WriteBinary reader=ReadPrepared
+//minoaner:sections writer=WriteBinary reader=readPreparedFrom
 const (
 	secPrepHeader = 1
 	secPrepTokens = 2
@@ -196,7 +206,16 @@ func (p *Prepared) WriteBinary(w io.Writer) error {
 // Prepared.WriteBinary, verifying the per-section checksums and that
 // every member list is ascending and in range for the recorded KB size.
 func ReadPrepared(r io.Reader) (*Prepared, error) {
-	dec := binio.NewReader(r)
+	return readPreparedFrom(binio.NewReader(r))
+}
+
+// ReadPreparedData deserializes a prepared substrate from an in-memory
+// image through the data-mode reader.
+func ReadPreparedData(data []byte) (*Prepared, error) {
+	return readPreparedFrom(binio.NewBytesReader(data))
+}
+
+func readPreparedFrom(dec *binio.Reader) (*Prepared, error) {
 	dec.Magic(preparedMagic)
 	dec.Version(preparedVersion)
 	bodies := dec.Sections()

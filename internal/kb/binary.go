@@ -61,6 +61,12 @@ var errCorrupt = errors.New("kb: corrupt binary KB")
 // checksummed sections). The encoding is deterministic: the same KB
 // always produces the same bytes.
 func (kb *KB) WriteBinary(w io.Writer) error {
+	if err := kb.Materialize(); err != nil {
+		return err
+	}
+	if err := kb.MaterializeSources(); err != nil {
+		return err
+	}
 	bw := binio.NewWriter(w)
 	bw.Raw(binaryMagic[:])
 	bw.Uvarint(binaryVersion)

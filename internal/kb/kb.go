@@ -81,6 +81,12 @@ type KB struct {
 	// from (see Sources). Non-nil only for KBs built with source
 	// retention; it is what makes a KB mutable through a Store.
 	src *Sources
+
+	// lazy is the undecoded remainder of a mapped image (see
+	// OpenBinary). Nil for built or eagerly loaded KBs. It stays set
+	// after materialization — the sync.Once inside is what records
+	// that the decode already happened.
+	lazy *kbLazy
 }
 
 // PredStat aggregates the statistics the paper's importance metric needs
@@ -103,7 +109,16 @@ func (kb *KB) Len() int { return len(kb.entities) }
 func (kb *KB) NumTriples() int { return kb.numTriples }
 
 // Entity returns the description with the given ID.
-func (kb *KB) Entity(id EntityID) *Entity { return &kb.entities[id] }
+//
+// Like every accessor below that reaches past the URI tier, it forces
+// the full tier of a mapped KB on first use (a nil check otherwise);
+// decode failures surface through the fallible entry points
+// (Materialize, and the index's query/save/mutate paths), while the
+// infallible accessors degrade to zero values.
+func (kb *KB) Entity(id EntityID) *Entity {
+	kb.materialize()
+	return &kb.entities[id]
+}
 
 // Lookup resolves a URI to its entity ID.
 func (kb *KB) Lookup(uri string) (EntityID, bool) {
@@ -115,24 +130,35 @@ func (kb *KB) Lookup(uri string) (EntityID, bool) {
 func (kb *KB) URI(id EntityID) string { return kb.entities[id].URI }
 
 // Pred returns the predicate name for a dictionary ID.
-func (kb *KB) Pred(id int32) string { return kb.preds[id] }
+func (kb *KB) Pred(id int32) string {
+	kb.materialize()
+	return kb.preds[id]
+}
 
 // PredID resolves a predicate name to its dictionary ID.
 func (kb *KB) PredID(name string) (int32, bool) {
+	kb.materialize()
 	id, ok := kb.predIndex[name]
 	return id, ok
 }
 
 // EF returns the entity frequency of a token: the number of entities of
 // this KB whose values contain it. Unknown tokens have frequency 0.
-func (kb *KB) EF(token string) int { return int(kb.ef[token]) }
+func (kb *KB) EF(token string) int {
+	kb.materialize()
+	return int(kb.ef[token])
+}
 
 // Tokens returns the distinct tokens of an entity's values.
-func (kb *KB) Tokens(id EntityID) []string { return kb.entities[id].Tokens }
+func (kb *KB) Tokens(id EntityID) []string {
+	kb.materialize()
+	return kb.entities[id].Tokens
+}
 
 // AvgTokens returns the mean number of distinct tokens per entity
 // (the "av. tokens" row of Table I).
 func (kb *KB) AvgTokens() float64 {
+	kb.materialize()
 	if len(kb.entities) == 0 {
 		return 0
 	}
@@ -140,23 +166,41 @@ func (kb *KB) AvgTokens() float64 {
 }
 
 // NumAttributes returns the number of distinct attribute predicates.
-func (kb *KB) NumAttributes() int { return len(kb.attrStats) }
+func (kb *KB) NumAttributes() int {
+	kb.materialize()
+	return len(kb.attrStats)
+}
 
 // NumRelations returns the number of distinct relation predicates.
-func (kb *KB) NumRelations() int { return len(kb.relStats) }
+func (kb *KB) NumRelations() int {
+	kb.materialize()
+	return len(kb.relStats)
+}
 
 // NumTypes returns the number of distinct rdf:type objects.
-func (kb *KB) NumTypes() int { return len(kb.typeSet) }
+func (kb *KB) NumTypes() int {
+	kb.materialize()
+	return len(kb.typeSet)
+}
 
 // NumVocabularies returns the number of distinct predicate namespaces
 // (the prefix up to the last '#' or '/').
-func (kb *KB) NumVocabularies() int { return len(kb.vocabSet) }
+func (kb *KB) NumVocabularies() int {
+	kb.materialize()
+	return len(kb.vocabSet)
+}
 
 // AttrStat returns the statistics of an attribute predicate, or nil.
-func (kb *KB) AttrStat(pred int32) *PredStat { return kb.attrStats[pred] }
+func (kb *KB) AttrStat(pred int32) *PredStat {
+	kb.materialize()
+	return kb.attrStats[pred]
+}
 
 // RelStat returns the statistics of a relation predicate, or nil.
-func (kb *KB) RelStat(pred int32) *PredStat { return kb.relStats[pred] }
+func (kb *KB) RelStat(pred int32) *PredStat {
+	kb.materialize()
+	return kb.relStats[pred]
+}
 
 // AttrStats returns all attribute statistics sorted by descending
 // importance, ties broken by predicate name for determinism.
@@ -167,6 +211,7 @@ func (kb *KB) AttrStats() []*PredStat { return kb.sortedStats(kb.attrStats) }
 func (kb *KB) RelStats() []*PredStat { return kb.sortedStats(kb.relStats) }
 
 func (kb *KB) sortedStats(m map[int32]*PredStat) []*PredStat {
+	kb.materialize()
 	out := make([]*PredStat, 0, len(m))
 	for _, st := range m {
 		out = append(out, st)

@@ -13,6 +13,7 @@ import (
 // Fewer than k attributes may exist; all are returned in importance
 // order then.
 func (kb *KB) TopNameAttributes(k int) []int32 {
+	kb.materialize()
 	stats := kb.AttrStats()
 	if k > len(stats) {
 		k = len(stats)
@@ -28,6 +29,7 @@ func (kb *KB) TopNameAttributes(k int) []int32 {
 // normalized literal values it holds for any of the given name
 // attributes. Empty keys (values with no tokens) are dropped.
 func (kb *KB) Names(id EntityID, nameAttrs []int32) []string {
+	kb.materialize()
 	if len(nameAttrs) == 0 {
 		return nil
 	}

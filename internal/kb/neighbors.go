@@ -8,6 +8,7 @@ import "sort"
 // score among the relations present on this entity. The result is
 // sorted and deduplicated.
 func (kb *KB) TopNeighbors(id EntityID, n int) []EntityID {
+	kb.materialize()
 	if n <= 0 {
 		return nil
 	}
@@ -72,6 +73,7 @@ func (kb *KB) relImportance(pred int32) float64 {
 // TopRelations returns the IDs of the n globally most important
 // relations of the KB, in importance order.
 func (kb *KB) TopRelations(n int) []int32 {
+	kb.materialize()
 	stats := kb.RelStats()
 	if n > len(stats) {
 		n = len(stats)

@@ -46,6 +46,7 @@ func (s *Sources) NumTriples() int { return len(s.refs) }
 // them reproduces the same sources bit-for-bit. Nil when the KB
 // retains no sources.
 func (kb *KB) SourceTriples() []rdf.Triple {
+	kb.materializeSrc()
 	if kb.src == nil {
 		return nil
 	}
@@ -61,15 +62,23 @@ func (kb *KB) SourceTriples() []rdf.Triple {
 }
 
 // HasSources reports whether the KB retains its source triples and can
-// therefore back a Store.
-func (kb *KB) HasSources() bool { return kb.src != nil }
+// therefore back a Store. For a mapped KB it answers from the section
+// directory without decoding the sources.
+func (kb *KB) HasSources() bool {
+	return kb.src != nil || (kb.lazy != nil && kb.lazy.hasSrc)
+}
 
 // WithoutSources returns a view of the KB with source retention
 // stripped (the underlying data is shared). WriteBinary on the view
 // omits the sources section — the pre-mutability encoding.
 func (kb *KB) WithoutSources() *KB {
+	kb.materialize()
 	c := *kb
 	c.src = nil
+	// The view must not rediscover the sources (or anything else)
+	// through the mapping; the full tier was just forced, so dropping
+	// the lazy state leaves a complete KB.
+	c.lazy = nil
 	return &c
 }
 
@@ -130,6 +139,12 @@ var ErrNoSources = errors.New("kb: KB was built without source retention and can
 
 // NewStore wraps a KB's retained sources into a mutable triple set.
 func NewStore(k *KB) (*Store, error) {
+	if err := k.Materialize(); err != nil {
+		return nil, err
+	}
+	if err := k.MaterializeSources(); err != nil {
+		return nil, err
+	}
 	if k.src == nil {
 		return nil, ErrNoSources
 	}

@@ -1,0 +1,465 @@
+package minoaner_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minoaner"
+)
+
+// deltaKB assembles a small delta from the first few KB2 entities of a
+// benchmark — enough to drive the prepared/sharded delta paths.
+func deltaKB(t *testing.T, b *minoaner.Benchmark, n int) *minoaner.KB {
+	t.Helper()
+	d := docFromKB(t, b.WriteKB2)
+	uris := b.KB2.URIs()
+	if n > len(uris) {
+		n = len(uris)
+	}
+	var lines []string
+	for _, uri := range uris[:n] {
+		lines = append(lines, d.linesOf(uri)...)
+	}
+	k, err := minoaner.LoadKB("delta", strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// mustEqualResults compares two delta-resolution results.
+func mustEqualResults(t *testing.T, label string, got, want *minoaner.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("%s: %d matches vs %d — mapped and eager answers diverge", label, len(got.Matches), len(want.Matches))
+	}
+}
+
+// TestOpenIndexBitIdentity is the tentpole acceptance property: a
+// mapped open answers every query bit-identically to an eager load,
+// and saving the mapped index reproduces the snapshot bytes exactly.
+func TestOpenIndexBitIdentity(t *testing.T) {
+	for _, name := range minoaner.BenchmarkNames() {
+		t.Run(name, func(t *testing.T) {
+			b, ix, _ := buildBenchmarkIndex(t, name, 7, 0.1)
+			ix.Prepare()
+			var buf bytes.Buffer
+			if err := minoaner.SaveIndex(&buf, ix); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+
+			eager, err := minoaner.LoadIndex(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := minoaner.OpenIndex(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mapped.Prepared() {
+				t.Error("mapped open lost the prepared flag")
+			}
+			if mapped.Config() != eager.Config() {
+				t.Errorf("configs diverge: %+v vs %+v", mapped.Config(), eager.Config())
+			}
+			if !reflect.DeepEqual(mapped.Matches(), eager.Matches()) {
+				t.Fatal("match sets diverge")
+			}
+
+			// Query sweep: every entity of both KBs, mapped vs eager.
+			uris := append(b.KB1.URIs(), b.KB2.URIs()...)
+			for _, uri := range uris {
+				if g, w := mapped.Query(uri), eager.Query(uri); !reflect.DeepEqual(g, w) {
+					t.Fatalf("Query(%q) diverges", uri)
+				}
+			}
+
+			// Delta resolution exercises the lazily decoded prepared
+			// substrate and KB1 full tier.
+			delta := deltaKB(t, b, 5)
+			got, err := mapped.QueryKB(context.Background(), delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eager.QueryKB(context.Background(), delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, "QueryKB", got, want)
+
+			// Stats force the remaining tiers; they must agree too.
+			if ms, es := mapped.Stats(), eager.Stats(); ms != es {
+				t.Errorf("stats diverge:\nmapped %+v\neager  %+v", ms, es)
+			}
+
+			// Save(Open(x)) == x, bit for bit.
+			var second bytes.Buffer
+			if err := minoaner.SaveIndex(&second, mapped); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(second.Bytes(), data) {
+				t.Fatalf("snapshot not bit-identical after mapped open: %d vs %d bytes", second.Len(), len(data))
+			}
+		})
+	}
+}
+
+// TestOpenIndexShardedBitIdentity repeats the property on a sharded
+// snapshot: the scatter-gather path must come up lazily too.
+func TestOpenIndexShardedBitIdentity(t *testing.T) {
+	b, ix, _ := buildBenchmarkIndex(t, "Restaurant", 13, 0.1)
+	ix.Prepare()
+	if err := ix.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := minoaner.SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	mapped, err := minoaner.OpenIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sharding record is part of the eager tier: Sharded answers
+	// before the substrate decodes.
+	if mapped.Shards() != 4 || !mapped.Sharded() {
+		t.Fatalf("mapped open: shards=%d sharded=%v", mapped.Shards(), mapped.Sharded())
+	}
+	delta := deltaKB(t, b, 6)
+	got, err := mapped.QueryKB(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.QueryKB(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "sharded QueryKB", got, want)
+
+	var second bytes.Buffer
+	if err := minoaner.SaveIndex(&second, mapped); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second.Bytes(), data) {
+		t.Fatal("sharded snapshot not bit-identical after mapped open")
+	}
+}
+
+// TestMappedCorruptionSweep flips one bit at a stride of offsets across
+// a prepared snapshot. Because sections decode lazily, damage may
+// surface at open, at the first delta query, or at save — but it must
+// surface as a typed ErrSnapshotCorrupt somewhere (never a crash), or
+// the decoded state must be provably unharmed (bit-identical save).
+func TestMappedCorruptionSweep(t *testing.T) {
+	b, ix, _ := buildBenchmarkIndex(t, "Restaurant", 3, 0.1)
+	ix.Prepare()
+	var buf bytes.Buffer
+	if err := minoaner.SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	delta := deltaKB(t, b, 3)
+
+	check := func(t *testing.T, mut []byte, label string) {
+		t.Helper()
+		mustBeTyped := func(stage string, err error) {
+			if !errors.Is(err, minoaner.ErrSnapshotCorrupt) {
+				t.Errorf("%s: %s error not ErrSnapshotCorrupt: %v", label, stage, err)
+			}
+		}
+		opened, err := minoaner.OpenIndex(mut)
+		if err != nil {
+			mustBeTyped("open", err)
+			return
+		}
+		if _, err := opened.QueryKB(context.Background(), delta); err != nil {
+			mustBeTyped("query", err)
+			return
+		}
+		var out bytes.Buffer
+		if err := minoaner.SaveIndex(&out, opened); err != nil {
+			mustBeTyped("save", err)
+			return
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Errorf("%s: survived open+query+save with different content", label)
+		}
+	}
+
+	t.Run("bit flips", func(t *testing.T) {
+		for off := 5; off < len(data); off += len(data) / 37 {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x10
+			check(t, mut, "offset "+itoa(off))
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{0, 3, 7, len(data) / 3, len(data) - 2} {
+			check(t, data[:cut:cut], "cut "+itoa(cut))
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestMappedCloseSafety closes (munmaps) a mapped index while readers
+// are mid-flight and keeps using it afterwards. If any decoded
+// structure aliased the mapping, the post-Close queries would fault.
+func TestMappedCloseSafety(t *testing.T) {
+	b, ix, _ := buildBenchmarkIndex(t, "Restaurant", 5, 0.1)
+	ix.Prepare()
+	path := filepath.Join(t.TempDir(), "index.msnp")
+	if err := minoaner.SaveIndexFile(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := minoaner.OpenIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mapped() {
+		t.Fatal("OpenIndexFile did not retain the mapping")
+	}
+	delta := deltaKB(t, b, 3)
+	uris := b.KB2.URIs()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mapped.Query(uris[(g*31+i)%len(uris)])
+				if i%7 == 0 {
+					if _, err := mapped.QueryKB(context.Background(), delta); err != nil {
+						t.Errorf("goroutine %d: QueryKB: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if mapped.Mapped() {
+		t.Error("Mapped() still true after Close")
+	}
+	if err := mapped.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// The index stays fully usable off its materialized copies.
+	if _, err := mapped.QueryKB(context.Background(), delta); err != nil {
+		t.Fatalf("QueryKB after Close: %v", err)
+	}
+	var out bytes.Buffer
+	if err := minoaner.SaveIndex(&out, mapped); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("post-Close save not bit-identical to the snapshot file")
+	}
+}
+
+// TestMappedMutationEquivalence applies the same mutations to a mapped
+// and an eagerly loaded copy of one snapshot: the copy-on-write epoch
+// machinery must give bit-identical state on both.
+func TestMappedMutationEquivalence(t *testing.T) {
+	b, ix, _ := buildBenchmarkIndex(t, "Restaurant", 19, 0.12)
+	var buf bytes.Buffer
+	if err := minoaner.SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	eager, err := minoaner.LoadIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := minoaner.OpenIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mutable() {
+		t.Fatal("snapshot lost its sources through mapped open")
+	}
+
+	d2 := docFromKB(t, b.WriteKB2)
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 5; round++ {
+		// Drive both indexes through the same scripted mutation by
+		// cloning the RNG stream: run the step against the eager index,
+		// then replay its journal entry onto the mapped one.
+		before := eager.Epoch()
+		mutationStep(t, rng, eager, 2, d2, eager.KB2(), round)
+		if eager.Epoch() == before {
+			continue
+		}
+		tail, err := eager.JournalSince(before)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mapped.Replay(context.Background(), tail.Entries); err != nil {
+			t.Fatalf("round %d: replay onto mapped: %v", round, err)
+		}
+	}
+	if eager.Epoch() == 0 {
+		t.Fatal("storm produced no mutations")
+	}
+	if mapped.Epoch() != eager.Epoch() {
+		t.Fatalf("epochs diverge: mapped %d, eager %d", mapped.Epoch(), eager.Epoch())
+	}
+	if !reflect.DeepEqual(mapped.Matches(), eager.Matches()) {
+		t.Fatal("matches diverge after identical mutations")
+	}
+	if !bytes.Equal(snapshotBytes(t, mapped), snapshotBytes(t, eager)) {
+		t.Fatal("snapshots not bit-identical after identical mutations")
+	}
+}
+
+// TestInspectIndexFile checks the O(header) inspection against the
+// fully loaded index it summarizes.
+func TestInspectIndexFile(t *testing.T) {
+	b, ix, _ := buildBenchmarkIndex(t, "Restaurant", 11, 0.1)
+	ix.Prepare()
+	d2 := docFromKB(t, b.WriteKB2)
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; ix.Epoch() < 2 && round < 12; round++ {
+		mutationStep(t, rng, ix, 2, d2, ix.KB2(), round)
+	}
+	path := filepath.Join(t.TempDir(), "index.msnp")
+	if err := minoaner.SaveIndexFile(path, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	si, err := minoaner.InspectIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if si.Matches != st.Matches || si.ByName != st.ByName || si.ByValue != st.ByValue || si.ByRank != st.ByRank {
+		t.Errorf("match counts: %+v vs stats %+v", si, st)
+	}
+	if si.DiscardedByH4 != st.DiscardedByReciprocity {
+		t.Errorf("DiscardedByH4 = %d, want %d", si.DiscardedByH4, st.DiscardedByReciprocity)
+	}
+	if si.NameBlocks != st.NameBlocks || si.TokenBlocks != st.TokenBlocks ||
+		si.NameComparisons != st.NameComparisons || si.TokenComparisons != st.TokenComparisons ||
+		si.PurgedBlocks != st.PurgedBlocks {
+		t.Errorf("block stats diverge: %+v vs %+v", si, st)
+	}
+	if si.Config != ix.Config() {
+		t.Errorf("config = %+v, want %+v", si.Config, ix.Config())
+	}
+	if si.KB1.Name != ix.KB1().Name() || si.KB1.Entities != ix.KB1().Len() ||
+		si.KB2.Name != ix.KB2().Name() || si.KB2.Entities != ix.KB2().Len() {
+		t.Errorf("KB summaries diverge: %+v / %+v", si.KB1, si.KB2)
+	}
+	if !si.Prepared {
+		t.Error("prepared substrate not reported")
+	}
+	if si.Shards != 1 {
+		t.Errorf("Shards = %d, want 1", si.Shards)
+	}
+	if si.Epoch != ix.Epoch() || si.JournalEntries != len(ix.Journal()) {
+		t.Errorf("journal summary: epoch %d/%d entries %d/%d",
+			si.Epoch, ix.Epoch(), si.JournalEntries, len(ix.Journal()))
+	}
+	if !si.Mutable() {
+		t.Error("sources-bearing snapshot reported read-only")
+	}
+	if fi, err := os.Stat(path); err != nil || si.Size != fi.Size() {
+		t.Errorf("Size = %d, stat %v/%v", si.Size, fi, err)
+	}
+}
+
+// TestReplicaSnapshotPath: bootstrap lands the primary's snapshot on
+// disk at the configured path and maps it, so a replica restart (or a
+// human) can open the file directly.
+func TestReplicaSnapshotPath(t *testing.T) {
+	_, primary, srv, _, _ := newMutableServer(t)
+	path := filepath.Join(t.TempDir(), "replica.msnp")
+	rep, err := minoaner.NewReplica(srv.URL,
+		minoaner.WithReplicaClient(srv.Client()),
+		minoaner.WithReplicaSnapshotPath(path),
+		minoaner.WithReplicaPoll(2*time.Millisecond),
+		minoaner.WithReplicaJitterSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Index().Mapped() {
+		t.Error("bootstrap did not map the landed snapshot")
+	}
+	if !reflect.DeepEqual(rep.Index().Matches(), primary.Matches()) {
+		t.Fatal("bootstrapped replica diverges from primary")
+	}
+	// The landed file is a complete, openable snapshot.
+	landed, err := minoaner.OpenIndexFile(path)
+	if err != nil {
+		t.Fatalf("opening landed snapshot: %v", err)
+	}
+	defer landed.Close()
+	if !reflect.DeepEqual(landed.Matches(), primary.Matches()) {
+		t.Fatal("landed snapshot diverges from primary")
+	}
+	if !bytes.Equal(snapshotBytes(t, landed), snapshotBytes(t, primary)) {
+		t.Fatal("landed snapshot not bit-identical to the primary")
+	}
+
+	// The default (no path) bootstrap streams to an unlinked temp file
+	// and still ends up mapped.
+	rep2, err := minoaner.NewReplica(srv.URL,
+		minoaner.WithReplicaClient(srv.Client()),
+		minoaner.WithReplicaJitterSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep2.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep2.Index().Matches(), primary.Matches()) {
+		t.Fatal("temp-file bootstrap diverges from primary")
+	}
+}

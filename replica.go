@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -39,11 +40,12 @@ import (
 // read-only, and keep Run going in the background. A Replica has one
 // writer — its own tailing loop; never mutate Index() directly.
 type Replica struct {
-	primary    string
-	client     *http.Client
-	poll       time.Duration
-	backoffMax time.Duration
-	jitter     uint64 // splitmix64 state; advanced per sleep
+	primary      string
+	client       *http.Client
+	poll         time.Duration
+	backoffMax   time.Duration
+	snapshotPath string // "" = unlinked temp file
+	jitter       uint64 // splitmix64 state; advanced per sleep
 
 	ix atomic.Pointer[Index]
 
@@ -89,6 +91,15 @@ func WithReplicaBackoffMax(d time.Duration) ReplicaOption {
 // the seed — only sleep timing does.
 func WithReplicaJitterSeed(seed uint64) ReplicaOption {
 	return func(r *Replica) { r.jitter = seed }
+}
+
+// WithReplicaSnapshotPath lands bootstrap snapshots at the given path
+// (written atomically: temp file + fsync + rename) and serves the
+// index mapped from that file, keeping it around for inspection or a
+// warm restart. By default snapshots land in an unlinked temporary
+// file the filesystem reclaims once the replica drops the mapping.
+func WithReplicaSnapshotPath(path string) ReplicaOption {
+	return func(r *Replica) { r.snapshotPath = path }
 }
 
 // NewReplica prepares a replica of the primary at the given base URL
@@ -176,9 +187,9 @@ func (r *Replica) Bootstrap(ctx context.Context) (*Index, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("minoaner: primary answered %s to /snapshot", resp.Status)
 	}
-	loaded, err := LoadIndex(bufio.NewReader(resp.Body))
+	loaded, err := r.landSnapshot(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("minoaner: loading primary snapshot: %w", err)
+		return nil, err
 	}
 	r.primaryEpoch.Store(loaded.Epoch())
 	if cur := r.ix.Load(); cur != nil {
@@ -187,6 +198,46 @@ func (r *Replica) Bootstrap(ctx context.Context) (*Index, error) {
 	}
 	r.ix.Store(loaded)
 	return loaded, nil
+}
+
+// landSnapshot streams the primary's snapshot body to disk and opens
+// it mapped, so a bootstrap is O(1) memory however large the snapshot
+// — the former in-memory buffering held the entire image (and its
+// decoded form) on the heap at once.
+func (r *Replica) landSnapshot(body io.Reader) (*Index, error) {
+	if r.snapshotPath != "" {
+		if err := writeFileAtomic(r.snapshotPath, func(w io.Writer) error {
+			_, err := io.Copy(w, body)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("minoaner: landing primary snapshot at %s: %w", r.snapshotPath, err)
+		}
+		ix, err := OpenIndexFile(r.snapshotPath)
+		if err != nil {
+			return nil, fmt.Errorf("minoaner: loading primary snapshot: %w", err)
+		}
+		return ix, nil
+	}
+	f, err := os.CreateTemp("", "minoaner-replica-*.msnp")
+	if err != nil {
+		return nil, fmt.Errorf("minoaner: landing primary snapshot: %w", err)
+	}
+	tmp := f.Name()
+	// Unlink once mapped (or failed): the mapping keeps the data
+	// reachable until the index drops it.
+	defer os.Remove(tmp)
+	if _, err := io.Copy(f, body); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("minoaner: landing primary snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("minoaner: landing primary snapshot: %w", err)
+	}
+	ix, err := OpenIndexFile(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("minoaner: loading primary snapshot: %w", err)
+	}
+	return ix, nil
 }
 
 // Run tails the primary until the context ends, bootstrapping first if

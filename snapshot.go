@@ -110,6 +110,11 @@ var ErrSnapshotCorrupt = errors.New("minoaner: corrupt index snapshot")
 func SaveIndex(w io.Writer, ix *Index) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	// A mapped index serializes from fully decoded structures — the
+	// save must include sections the read path has not touched yet.
+	if err := ix.materializeLocked(); err != nil {
+		return err
+	}
 	e := ix.cur.Load()
 
 	withJournal := e.seq > 0 || len(ix.journal) > 0 || ix.compactions.Load() > 0
@@ -244,43 +249,54 @@ func writeNeighborLists(e *binio.Writer, top [][]kb.EntityID) {
 // validating it against the already-loaded KB1 and config.
 func readPreparedSection(b *binio.Reader, ix *Index) error {
 	e := ix.cur.Load()
+	prep, err := decodePreparedBody(b, e.kb1, e.cfg)
+	if err != nil {
+		return err
+	}
+	ix.setPreparedSide(prep)
+	return nil
+}
+
+// decodePreparedBody decodes the prepared section's payload — shared
+// by the eager load and the mapped index's first-demand decode.
+func decodePreparedBody(b *binio.Reader, kb1 *KB, cfg Config) (*pipeline.Prepared, error) {
 	n := b.Int()
 	if err := b.Err(); err != nil {
-		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
 	}
-	if n != e.cfg.internal().Params().N {
-		return fmt.Errorf("%w: prepared substrate frozen for N=%d, config has N=%d",
-			ErrSnapshotCorrupt, n, e.cfg.N)
+	if n != cfg.internal().Params().N {
+		return nil, fmt.Errorf("%w: prepared substrate frozen for N=%d, config has N=%d",
+			ErrSnapshotCorrupt, n, cfg.N)
 	}
 	bp, err := blocking.ReadPrepared(b.Embedded())
 	if err != nil {
-		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
 	}
-	if bp.KBSize() != e.kb1.Len() {
-		return fmt.Errorf("%w: prepared substrate covers %d entities, KB1 has %d",
-			ErrSnapshotCorrupt, bp.KBSize(), e.kb1.Len())
+	if bp.KBSize() != kb1.Len() {
+		return nil, fmt.Errorf("%w: prepared substrate covers %d entities, KB1 has %d",
+			ErrSnapshotCorrupt, bp.KBSize(), kb1.Len())
 	}
-	if bp.NameK() != e.cfg.NameAttributes {
-		return fmt.Errorf("%w: prepared substrate built with NameK=%d, config has %d",
-			ErrSnapshotCorrupt, bp.NameK(), e.cfg.NameAttributes)
+	if bp.NameK() != cfg.NameAttributes {
+		return nil, fmt.Errorf("%w: prepared substrate built with NameK=%d, config has %d",
+			ErrSnapshotCorrupt, bp.NameK(), cfg.NameAttributes)
 	}
 	nEnt := b.Int()
-	if b.Err() == nil && nEnt != e.kb1.Len() {
-		b.Fail("neighbor lists cover %d entities, KB1 has %d", nEnt, e.kb1.Len())
+	if b.Err() == nil && nEnt != kb1.Len() {
+		b.Fail("neighbor lists cover %d entities, KB1 has %d", nEnt, kb1.Len())
 	}
 	top := make([][]kb.EntityID, 0, min(nEnt, 1<<20))
 	for i := 0; i < nEnt && b.Err() == nil; i++ {
 		cnt := b.Int()
-		if cnt > e.kb1.Len() {
-			b.Fail("neighbor list larger than the KB (%d > %d)", cnt, e.kb1.Len())
+		if cnt > kb1.Len() {
+			b.Fail("neighbor list larger than the KB (%d > %d)", cnt, kb1.Len())
 			break
 		}
 		nbrs := make([]kb.EntityID, 0, cnt)
 		prev := int64(-1)
 		for j := 0; j < cnt && b.Err() == nil; j++ {
 			id := b.Uvarint()
-			if id >= uint64(e.kb1.Len()) || int64(id) <= prev {
-				b.Fail("neighbor %d out of order or range [0,%d)", id, e.kb1.Len())
+			if id >= uint64(kb1.Len()) || int64(id) <= prev {
+				b.Fail("neighbor %d out of order or range [0,%d)", id, kb1.Len())
 				break
 			}
 			prev = int64(id)
@@ -289,13 +305,12 @@ func readPreparedSection(b *binio.Reader, ix *Index) error {
 		top = append(top, nbrs)
 	}
 	if err := b.Err(); err != nil {
-		return fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: prepared: %v", ErrSnapshotCorrupt, err)
 	}
-	ix.setPreparedSide(&pipeline.Prepared{
+	return &pipeline.Prepared{
 		Blocks:    bp,
-		Neighbors: kb.FrozenFromLists(e.kb1.kb, n, top),
-	})
-	return nil
+		Neighbors: kb.FrozenFromLists(kb1.kb, n, top),
+	}, nil
 }
 
 // writeJournalSection encodes section 9: the epoch number and journal
