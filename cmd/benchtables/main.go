@@ -1287,6 +1287,7 @@ func main() {
 		shardPath     = flag.String("shard-json", "", "write the sharded-index profile (scatter-gather delta resolution and owner-routed mutations vs shard count, with a bit-identity guard) to this JSON file (e.g. BENCH_shard.json) instead of the paper tables")
 		shardCounts   = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts swept by -shard-json")
 		shardWorkers  = flag.String("shard-workers", "1,4", "comma-separated worker counts at which -shard-json verifies sharded/unsharded bit-identity")
+		streamPath    = flag.String("stream-json", "", "write the anytime-resolution profile (time-to-first-match, recall-vs-budget curves and AUC per scheduling strategy, with a bit-identity guard) to this JSON file (e.g. BENCH_stream.json) instead of the paper tables")
 	)
 	flag.Parse()
 
@@ -1319,6 +1320,17 @@ func main() {
 		if *timing {
 			fmt.Fprintf(os.Stderr, "pipeline bench in %v (written to %s)\n",
 				time.Since(t0).Round(time.Millisecond), *jsonPath)
+		}
+		return
+	}
+	if *streamPath != "" {
+		t0 := time.Now()
+		if err := writeStreamBench(*streamPath, datasets, *seed, *scale); err != nil {
+			log.Fatal(err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "stream bench in %v (written to %s)\n",
+				time.Since(t0).Round(time.Millisecond), *streamPath)
 		}
 		return
 	}

@@ -1,0 +1,308 @@
+package main
+
+// The -stream-json profile: anytime (streaming) resolution versus the
+// batch pipeline. For every benchmark and both pair schedulers it
+// records the time to the first confirmed match, the full drain time,
+// the progressive recall curve over pair budgets, and its AUC — with a
+// built-in bit-identity guard proving the drained stream is exactly
+// the batch match set.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"minoaner"
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/pipeline"
+	"minoaner/internal/progressive"
+)
+
+// streamBudgetPointJSON is one point of the recall-vs-budget curve.
+type streamBudgetPointJSON struct {
+	// Pairs is the budget: the stream is cut after this many matches.
+	Pairs int `json:"pairs"`
+	// Recall is the ground-truth recall of the budgeted prefix.
+	Recall float64 `json:"recall"`
+}
+
+// streamStrategyBenchJSON profiles one pair scheduler on one benchmark.
+type streamStrategyBenchJSON struct {
+	Strategy string `json:"strategy"`
+	// FirstMatchNano is the median latency from calling ResolveStream
+	// to receiving the first confirmed pair on the channel.
+	FirstMatchNano int64 `json:"ttfm_ns"`
+	// DrainNano is the median wall-clock of draining the whole stream.
+	DrainNano int64 `json:"drain_ns"`
+	Pairs     int   `json:"pairs"`
+	// TTFMSpeedupVsResolve is resolve_ns / ttfm_ns — how much sooner
+	// the first match surfaces compared to waiting for the batch run.
+	TTFMSpeedupVsResolve float64 `json:"ttfm_speedup_vs_resolve"`
+	// AUC is the normalized area under the progressive recall curve of
+	// the emission order (1 = every match instantly).
+	AUC            float64                 `json:"auc"`
+	RecallAtBudget []streamBudgetPointJSON `json:"recall_at_budget"`
+}
+
+// streamDatasetBenchJSON profiles one benchmark.
+type streamDatasetBenchJSON struct {
+	Name string `json:"name"`
+	// Matches is the batch match count; every drained stream below is
+	// verified bit-identical to it.
+	Matches     int   `json:"matches"`
+	GroundTruth int   `json:"ground_truth"`
+	ResolveNano int64 `json:"resolve_ns"`
+	// BatchRecall is the recall of the full match set — the plateau the
+	// recall-vs-budget curves converge to.
+	BatchRecall float64                   `json:"batch_recall"`
+	Strategies  []streamStrategyBenchJSON `json:"strategies"`
+}
+
+// streamBenchJSON is the BENCH_stream.json document.
+type streamBenchJSON struct {
+	Seed     int64                    `json:"seed"`
+	Scale    float64                  `json:"scale"`
+	MaxProcs int                      `json:"maxprocs"`
+	Env      envJSON                  `json:"env"`
+	Datasets []streamDatasetBenchJSON `json:"datasets"`
+}
+
+// streamStrategies pairs the wire names with both API surfaces.
+var streamStrategies = []struct {
+	name     string
+	public   minoaner.StreamStrategy
+	internal pipeline.StreamStrategy
+}{
+	{"weight", minoaner.WeightOrdered, pipeline.ScheduleWeightOrdered},
+	{"blocks", minoaner.BlockRoundRobin, pipeline.ScheduleBlockRoundRobin},
+}
+
+// pairBudgets picks the recall-curve sample points for a stream of n
+// pairs: 1, 5%, 10%, 25%, 50%, 75% and 100% of the emitted pairs,
+// deduplicated and ascending.
+func pairBudgets(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	fracs := []float64{0.05, 0.10, 0.25, 0.50, 0.75, 1.0}
+	out := []int{1}
+	for _, f := range fracs {
+		k := int(f * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// drainPublicStream runs one unbudgeted public ResolveStream and
+// reports the time to the first pair, the total drain time, and the
+// emitted pairs in order.
+func drainPublicStream(b *minoaner.Benchmark, cfg minoaner.Config, s minoaner.StreamStrategy) (ttfm, drain int64, pairs []minoaner.ScoredPair, err error) {
+	start := time.Now()
+	ch, err := minoaner.ResolveStream(context.Background(), b.KB1, b.KB2, cfg,
+		minoaner.WithStreamStrategy(s))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for sp := range ch {
+		if len(pairs) == 0 {
+			ttfm = time.Since(start).Nanoseconds()
+		}
+		pairs = append(pairs, sp)
+	}
+	return ttfm, time.Since(start).Nanoseconds(), pairs, nil
+}
+
+// sortedURIPairs sorts match pairs lexicographically for set equality.
+func sortedURIPairs(ms []minoaner.Match) []minoaner.Match {
+	out := make([]minoaner.Match, len(ms))
+	copy(out, ms)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].URI1 != out[j].URI1 {
+			return out[i].URI1 < out[j].URI1
+		}
+		return out[i].URI2 < out[j].URI2
+	})
+	return out
+}
+
+func writeStreamBench(path string, datasets []*datagen.Dataset, seed int64, scale float64) error {
+	doc := streamBenchJSON{Seed: seed, Scale: scale, MaxProcs: runtime.GOMAXPROCS(0), Env: benchEnv()}
+	for _, ds := range datasets {
+		// The public benchmark regenerates the same KBs (same generator,
+		// seed and scale) with the URI-level API ResolveStream consumes;
+		// ds keeps the internal entity IDs the recall machinery needs.
+		b, err := minoaner.GenerateBenchmark(ds.Name, seed, scale)
+		if err != nil {
+			return err
+		}
+		cfg := minoaner.DefaultConfig()
+
+		// Both sides of the TTFM-vs-resolve ratio time deterministic
+		// work, so the minimum over reps — the classic noise-resistant
+		// estimator for fixed workloads — is used for both.
+		var ref *minoaner.Result
+		var resolveNano int64
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			r, err := minoaner.Resolve(b.KB1, b.KB2, cfg)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			if rep == 0 || elapsed < resolveNano {
+				resolveNano = elapsed
+			}
+			ref = r
+		}
+		refSorted := sortedURIPairs(ref.Matches)
+
+		batch := eval.Evaluate(matchPairs(ds, ref.Matches), ds.GT)
+		entry := streamDatasetBenchJSON{
+			Name:        ds.Name,
+			Matches:     len(ref.Matches),
+			GroundTruth: ds.GT.Len(),
+			ResolveNano: resolveNano,
+			BatchRecall: batch.Recall,
+		}
+
+		for _, strat := range streamStrategies {
+			var (
+				drains []int64
+				first  []minoaner.ScoredPair
+			)
+			for rep := 0; rep < 3; rep++ {
+				_, drain, pairs, err := drainPublicStream(b, cfg, strat.public)
+				if err != nil {
+					return err
+				}
+				drains = append(drains, drain)
+				if rep == 0 {
+					first = pairs
+				}
+			}
+			sort.Slice(drains, func(i, j int) bool { return drains[i] < drains[j] })
+			drainNano := drains[1]
+			// TTFM reps stop after the first pair (MaxPairs 1), so they
+			// cost one prefix each; the minimum over seven samples damps
+			// scheduler noise (same estimator as the resolve side).
+			var ttfmNano int64
+			for rep := 0; rep < 7; rep++ {
+				start := time.Now()
+				ch, err := minoaner.ResolveStream(context.Background(), b.KB1, b.KB2, cfg,
+					minoaner.WithStreamStrategy(strat.public), minoaner.WithMaxPairs(1))
+				if err != nil {
+					return err
+				}
+				got := 0
+				var ttfm int64
+				for range ch {
+					ttfm = time.Since(start).Nanoseconds()
+					got++
+				}
+				if got != 1 {
+					return fmt.Errorf("%s/%s: MaxPairs(1) emitted %d pairs", ds.Name, strat.name, got)
+				}
+				if rep == 0 || ttfm < ttfmNano {
+					ttfmNano = ttfm
+				}
+			}
+
+			// Guard 1: emitted scores never increase.
+			for i := 1; i < len(first); i++ {
+				if first[i].Score > first[i-1].Score {
+					return fmt.Errorf("%s/%s: stream score increased at pair %d",
+						ds.Name, strat.name, i)
+				}
+			}
+			// Guard 2 (bit-identity): the drained stream is exactly the
+			// batch match set.
+			streamed := make([]minoaner.Match, len(first))
+			for i, sp := range first {
+				streamed[i] = minoaner.Match{URI1: sp.URI1, URI2: sp.URI2}
+			}
+			if got := sortedURIPairs(streamed); !sameMatches(got, refSorted) {
+				return fmt.Errorf("%s/%s: drained stream (%d pairs) is not bit-identical to Resolve (%d matches)",
+					ds.Name, strat.name, len(got), len(refSorted))
+			}
+
+			// The recall curve needs entity IDs: re-run the stream at the
+			// core layer (same engine the channel wraps) and check it
+			// emits the same pairs in the same order.
+			ccfg := core.DefaultConfig()
+			ccfg.Strategy = strat.internal
+			var corePairs []eval.Pair
+			err = core.RunStream(context.Background(), ds.KB1, ds.KB2, ccfg,
+				pipeline.StreamBudget{}, func(sp pipeline.ScoredPair) bool {
+					corePairs = append(corePairs, sp.Pair)
+					return true
+				})
+			if err != nil {
+				return err
+			}
+			if len(corePairs) != len(first) {
+				return fmt.Errorf("%s/%s: core stream emitted %d pairs, public stream %d",
+					ds.Name, strat.name, len(corePairs), len(first))
+			}
+			for i, p := range corePairs {
+				if ds.KB1.URI(p.E1) != first[i].URI1 || ds.KB2.URI(p.E2) != first[i].URI2 {
+					return fmt.Errorf("%s/%s: core and public streams diverge at pair %d",
+						ds.Name, strat.name, i)
+				}
+			}
+
+			budgets := pairBudgets(len(corePairs))
+			recalls := progressive.Curve(corePairs, ds.GT, budgets)
+			points := make([]streamBudgetPointJSON, len(budgets))
+			for i := range budgets {
+				points[i] = streamBudgetPointJSON{Pairs: budgets[i], Recall: recalls[i]}
+			}
+
+			speedup := 0.0
+			if ttfmNano > 0 {
+				speedup = float64(resolveNano) / float64(ttfmNano)
+			}
+			entry.Strategies = append(entry.Strategies, streamStrategyBenchJSON{
+				Strategy:             strat.name,
+				FirstMatchNano:       ttfmNano,
+				DrainNano:            drainNano,
+				Pairs:                len(first),
+				TTFMSpeedupVsResolve: speedup,
+				AUC:                  progressive.AUC(corePairs, ds.GT),
+				RecallAtBudget:       points,
+			})
+			fmt.Fprintf(os.Stderr, "  %s/%s: ttfm %.3fms, drain %.3fms, resolve %.3fms (%.1fx)\n",
+				ds.Name, strat.name, float64(ttfmNano)/1e6, float64(drainNano)/1e6,
+				float64(resolveNano)/1e6, speedup)
+		}
+		doc.Datasets = append(doc.Datasets, entry)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// matchPairs maps URI matches back onto the dataset's entity IDs.
+func matchPairs(ds *datagen.Dataset, ms []minoaner.Match) []eval.Pair {
+	out := make([]eval.Pair, 0, len(ms))
+	for _, m := range ms {
+		e1, ok1 := ds.KB1.Lookup(m.URI1)
+		e2, ok2 := ds.KB2.Lookup(m.URI2)
+		if ok1 && ok2 {
+			out = append(out, eval.Pair{E1: e1, E2: e2})
+		}
+	}
+	return out
+}

@@ -36,6 +36,9 @@ type Config struct {
 	// Workers bounds the goroutines used for candidate scoring.
 	// 0 selects GOMAXPROCS. Results are identical at any setting.
 	Workers int
+	// Strategy selects the pair-quality scheduler of streaming runs
+	// (RunStream); batch runs ignore it.
+	Strategy pipeline.StreamStrategy
 
 	// Ablation switches (all false in the paper's configuration).
 	DisableH1 bool
@@ -78,6 +81,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
+	if c.Strategy > pipeline.ScheduleBlockRoundRobin {
+		return fmt.Errorf("core: unknown stream strategy %d", c.Strategy)
+	}
 	return nil
 }
 
@@ -88,11 +94,12 @@ func (c Config) Validate() error {
 // such as the public index builder.
 func (c Config) Params() pipeline.Params {
 	return pipeline.Params{
-		K:       c.K,
-		N:       c.N,
-		NameK:   c.NameK,
-		Theta:   c.Theta,
-		Purge:   c.Purge,
-		Workers: c.Workers,
+		K:        c.K,
+		N:        c.N,
+		NameK:    c.NameK,
+		Theta:    c.Theta,
+		Purge:    c.Purge,
+		Workers:  c.Workers,
+		Strategy: c.Strategy,
 	}
 }

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"context"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/pipeline"
+)
+
+// RunStream resolves (kb1, kb2) as an anytime computation: emit is
+// called for every confirmed match, in decreasing pair quality, the
+// moment H1–H4 agree on it. The Disable flags skip whole heuristic
+// phases — the streaming counterpart of Matcher.Plan's stage drops —
+// and cfg.Strategy selects the pair scheduler. Draining an unbudgeted
+// stream yields exactly the batch Matcher's match set; a budget (or a
+// context deadline, or emit returning false) truncates the stream to a
+// deterministic quality-ordered prefix.
+func RunStream(ctx context.Context, kb1, kb2 *kb.KB, cfg Config, budget pipeline.StreamBudget, emit func(pipeline.ScoredPair) bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	st := pipeline.NewState(kb1, kb2, cfg.Params())
+	return pipeline.RunStream(ctx, st, pipeline.StreamConfig{
+		Budget:    budget,
+		DisableH1: cfg.DisableH1,
+		DisableH2: cfg.DisableH2,
+		DisableH3: cfg.DisableH3,
+		DisableH4: cfg.DisableH4,
+	}, emit)
+}

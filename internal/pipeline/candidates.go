@@ -78,8 +78,8 @@ func valueCandidates(ctx context.Context, bt *blocking.Collection, idx *blocking
 // blocks provide — so only pairs co-occurring in token blocks
 // contribute, as in the paper's blocks-centric computation.
 func neighborCandidates(ctx context.Context, kb1, kb2 *kb.KB, vc1, vc2 [][]Cand, n, k, workers int) ([][]Cand, [][]Cand, error) {
-	top1 := topNeighborLists(kb1, n)
-	top2 := topNeighborLists(kb2, n)
+	top1 := topNeighborListsN(kb1, n, workers)
+	top2 := topNeighborListsN(kb2, n, workers)
 	rev1 := reverseNeighborIndex(top1, kb1.Len())
 	rev2 := reverseNeighborIndex(top2, kb2.Len())
 
@@ -144,6 +144,21 @@ func topNeighborLists(k *kb.KB, n int) [][]kb.EntityID {
 	for i := 0; i < k.Len(); i++ {
 		out[i] = k.TopNeighbors(kb.EntityID(i), n)
 	}
+	return out
+}
+
+// topNeighborListsN is topNeighborLists across workers; every slot is
+// written exactly once, so the result is identical to the serial one.
+func topNeighborListsN(k *kb.KB, n, workers int) [][]kb.EntityID {
+	out := make([][]kb.EntityID, k.Len())
+	// The work function never fails and the context is never cancelled,
+	// so the error is structurally nil.
+	_ = parallelFor(context.Background(), k.Len(), workers, func(_, start, end int) error {
+		for i := start; i < end; i++ {
+			out[i] = k.TopNeighbors(kb.EntityID(i), n)
+		}
+		return nil
+	})
 	return out
 }
 

@@ -31,6 +31,9 @@ type Params struct {
 	// Workers bounds the goroutines used inside parallel stages.
 	// 0 selects GOMAXPROCS. Results are identical at any setting.
 	Workers int
+	// Strategy selects the pair-quality scheduler of streaming runs
+	// (RunStream). Batch plans ignore it.
+	Strategy StreamStrategy
 }
 
 func (p Params) workers() int {

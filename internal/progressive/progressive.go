@@ -13,7 +13,6 @@ package progressive
 
 import (
 	"context"
-	"sort"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/eval"
@@ -24,16 +23,16 @@ import (
 
 // Schedule returns every distinct comparison of the collection ordered
 // by decreasing weight under the scheme (ties broken by pair for
-// determinism).
+// determinism). Scheduling sorts a copy of the graph's edges — a
+// caller-supplied Graph (ScheduleGraph) is never reordered.
 func Schedule(c *blocking.Collection, scheme metablocking.Scheme) []eval.Pair {
-	g := metablocking.BuildGraph(c, scheme)
-	edges := g.Edges
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Weight != edges[j].Weight {
-			return edges[i].Weight > edges[j].Weight
-		}
-		return edges[i].Pair.Less(edges[j].Pair)
-	})
+	return ScheduleGraph(metablocking.BuildGraph(c, scheme))
+}
+
+// ScheduleGraph orders an already-built blocking graph's comparisons
+// by decreasing weight without mutating the graph.
+func ScheduleGraph(g *metablocking.Graph) []eval.Pair {
+	edges := g.SortedEdges()
 	out := make([]eval.Pair, len(edges))
 	for i, e := range edges {
 		out[i] = e.Pair

@@ -145,3 +145,27 @@ func TestEmptyInputs(t *testing.T) {
 		t.Error("Curve on empty inputs")
 	}
 }
+
+// TestScheduleGraphDoesNotReorderEdges: scheduling must sort a copy —
+// the caller's graph (and the pruning semantics that depend on its
+// construction order) stays untouched.
+func TestScheduleGraphDoesNotReorderEdges(t *testing.T) {
+	c, _ := bibliographySetup(t)
+	g := metablocking.BuildGraph(c, metablocking.ARCS)
+	before := make([]metablocking.Edge, len(g.Edges))
+	copy(before, g.Edges)
+
+	sched := ScheduleGraph(g)
+	if len(sched) != len(before) {
+		t.Fatalf("schedule has %d pairs, graph %d edges", len(sched), len(before))
+	}
+	if !reflect.DeepEqual(g.Edges, before) {
+		t.Fatal("ScheduleGraph reordered the caller's g.Edges in place")
+	}
+	// The schedule itself is sorted even though the graph is not.
+	pruned := g.Prune(metablocking.WEP)
+	g2 := metablocking.BuildGraph(c, metablocking.ARCS)
+	if !reflect.DeepEqual(pruned, g2.Prune(metablocking.WEP)) {
+		t.Fatal("pruning after scheduling differs from pruning a fresh graph")
+	}
+}

@@ -1,6 +1,7 @@
 package minoaner
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +33,14 @@ import (
 //	                           length, shard count, match/block gauges)
 //	GET  /resolve?uri=U&uri=V  per-URI match lookup
 //	POST /resolve              same, URIs from JSON {"uris": [...]}
+//	GET  /resolve/stream       anytime re-resolution of the index's KB
+//	                           pair as NDJSON, one confirmed pair per
+//	                           line in decreasing quality, flushed as
+//	                           written. Budget and scheduling via
+//	                           budget_ms, max_pairs, max_comparisons,
+//	                           and strategy=weight|blocks query params;
+//	                           draining an unbudgeted stream yields
+//	                           exactly the epoch's match set
 //	POST /delta?name=N&lenient=1
 //	                           resolve an N-Triples delta (request body)
 //	                           against the index's first KB
@@ -61,6 +70,21 @@ type server struct {
 	mutable bool
 	replica *Replica
 	metrics map[string]*endpointMetrics
+	stream  streamMetrics
+}
+
+// streamMetrics aggregates the /resolve/stream traffic the per-route
+// counters cannot express: how many pairs streamed out, and how long
+// clients waited for the first one.
+type streamMetrics struct {
+	// pairs counts every NDJSON record written across all stream
+	// requests.
+	pairs atomic.Int64
+	// firstMatches counts the requests that emitted at least one pair.
+	firstMatches atomic.Int64
+	// firstMatchMicros accumulates the time-to-first-match of those
+	// requests; firstMatchMicros/firstMatches is the average TTFM.
+	firstMatchMicros atomic.Int64
 }
 
 // endpointMetrics aggregates one route's traffic (lock-free; the map
@@ -100,7 +124,7 @@ const (
 
 // serveRoutes are the instrumented endpoint labels, in the order the
 // /metrics exposition lists them.
-var serveRoutes = []string{"healthz", "stats", "metrics", "resolve", "delta", "upsert", "delete", "journal", "snapshot", "other"}
+var serveRoutes = []string{"healthz", "stats", "metrics", "resolve", "resolve_stream", "delta", "upsert", "delete", "journal", "snapshot", "other"}
 
 // NewServer returns an http.Handler serving resolution queries over the
 // index. It prepares the index's delta substrate (see Index.Prepare) if
@@ -120,6 +144,7 @@ func NewServer(ix *Index, opts ...ServerOption) http.Handler {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /resolve", s.handleResolveGet)
 	s.mux.HandleFunc("POST /resolve", s.handleResolvePost)
+	s.mux.HandleFunc("GET /resolve/stream", s.handleResolveStream)
 	s.mux.HandleFunc("POST /delta", s.handleDelta)
 	s.mux.HandleFunc("POST /upsert", s.handleUpsert)
 	s.mux.HandleFunc("POST /delete", s.handleDelete)
@@ -139,6 +164,8 @@ func routeLabel(path string) string {
 		return "metrics"
 	case "/resolve":
 		return "resolve"
+	case "/resolve/stream":
+		return "resolve_stream"
 	case "/delta":
 		return "delta"
 	case "/upsert":
@@ -254,7 +281,16 @@ type statsJSON struct {
 	Shards                 int                          `json:"shards"`
 	Sharded                bool                         `json:"sharded"`
 	Replica                *replicaStatsJSON            `json:"replica,omitempty"`
+	Stream                 streamStatsJSON              `json:"stream"`
 	Endpoints              map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+// streamStatsJSON reports the /resolve/stream traffic: pairs streamed
+// out and the average latency to each request's first confirmed match.
+type streamStatsJSON struct {
+	PairsEmitted    int64 `json:"pairs_emitted"`
+	FirstMatches    int64 `json:"first_matches"`
+	AvgFirstMatchUS int64 `json:"avg_time_to_first_match_us"`
 }
 
 // replicaStatsJSON reports a replica server's replication progress.
@@ -301,6 +337,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Applied:      rs.Applied,
 		}
 	}
+	stream := streamStatsJSON{
+		PairsEmitted: s.stream.pairs.Load(),
+		FirstMatches: s.stream.firstMatches.Load(),
+	}
+	if stream.FirstMatches > 0 {
+		stream.AvgFirstMatchUS = s.stream.firstMatchMicros.Load() / stream.FirstMatches
+	}
 	if s.mutable || s.replica != nil {
 		// Stats on a mutable (or replicating) server describe a moving
 		// target.
@@ -325,6 +368,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:                 st.Shards,
 		Sharded:                e.sharded != nil,
 		Replica:                replica,
+		Stream:                 stream,
 		Endpoints:              endpoints,
 	})
 }
@@ -350,6 +394,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE minoaner_request_duration_microseconds_total counter\n")
 	for _, route := range serveRoutes {
 		fmt.Fprintf(&b, "minoaner_request_duration_microseconds_total{route=%q} %d\n", route, s.metrics[route].totalMicros.Load())
+	}
+	streamSeries := []struct {
+		name, help string
+		value      int64
+	}{
+		{"minoaner_stream_pairs_total", "Confirmed pairs emitted by /resolve/stream responses.", s.stream.pairs.Load()},
+		{"minoaner_stream_first_match_total", "/resolve/stream requests that emitted at least one pair.", s.stream.firstMatches.Load()},
+		{"minoaner_stream_time_to_first_match_microseconds_total", "Cumulative latency to the first emitted pair, over first-match requests.", s.stream.firstMatchMicros.Load()},
+	}
+	for _, c := range streamSeries {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}
 	sharded := 0
 	if e.sharded != nil {
@@ -467,6 +522,104 @@ func (s *server) handleResolvePost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.resolve(w, body.URIs)
+}
+
+// streamPairJSON is one NDJSON record of the /resolve/stream response.
+type streamPairJSON struct {
+	URI1      string  `json:"uri1"`
+	URI2      string  `json:"uri2"`
+	Score     float64 `json:"score"`
+	Heuristic string  `json:"heuristic"`
+}
+
+// handleResolveStream re-resolves the index's KB pair as an anytime
+// stream: one NDJSON record per confirmed pair, best pairs first,
+// flushed as written so a latency-budgeted client acts on each match
+// the moment it is confirmed. budget_ms bounds wall clock (as a
+// deadline on the resolving context), max_pairs and max_comparisons
+// bound work, and strategy selects the pair scheduler (weight —
+// the default — or blocks). Draining an unbudgeted stream yields
+// exactly the epoch's match set.
+func (s *server) handleResolveStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var opts []StreamOption
+	if raw := q.Get("max_pairs"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid max_pairs=%q: want a positive integer", raw)
+			return
+		}
+		opts = append(opts, WithMaxPairs(n))
+	}
+	if raw := q.Get("max_comparisons"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid max_comparisons=%q: want a positive integer", raw)
+			return
+		}
+		opts = append(opts, WithMaxComparisons(n))
+	}
+	switch q.Get("strategy") {
+	case "", "weight":
+		// WeightOrdered is the default.
+	case "blocks":
+		opts = append(opts, WithStreamStrategy(BlockRoundRobin))
+	default:
+		writeError(w, http.StatusBadRequest, "invalid strategy=%q: want weight or blocks", q.Get("strategy"))
+		return
+	}
+	ctx := r.Context()
+	if raw := q.Get("budget_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 1 {
+			writeError(w, http.StatusBadRequest, "invalid budget_ms=%q: want a positive integer", raw)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	e := s.ix.cur.Load()
+	if err := e.materializeKB1(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := e.materializeKB2(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ch, err := ResolveStream(ctx, e.kb1, e.kb2, e.cfg, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A budget-truncated response is complete for its budget but must
+	// never be served from a cache as "the" match set.
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	//minoaner:wallclock time-to-first-match metric; feeds /stats and /metrics, never match output
+	start := time.Now()
+	emitted := int64(0)
+	for sp := range ch {
+		if emitted == 0 {
+			s.stream.firstMatches.Add(1)
+			//minoaner:wallclock time-to-first-match metric; feeds /stats and /metrics, never match output
+			s.stream.firstMatchMicros.Add(time.Since(start).Microseconds())
+		}
+		if err := enc.Encode(streamPairJSON{URI1: sp.URI1, URI2: sp.URI2, Score: sp.Score, Heuristic: sp.Heuristic}); err != nil {
+			// Client went away mid-stream. Returning cancels r.Context(),
+			// which stops the resolving goroutine.
+			return
+		}
+		emitted++
+		s.stream.pairs.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // deltaResponseJSON reports a /delta resolution.

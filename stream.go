@@ -1,0 +1,164 @@
+package minoaner
+
+import (
+	"context"
+	"fmt"
+
+	"minoaner/internal/core"
+	"minoaner/internal/pipeline"
+)
+
+// Anytime resolution: ResolveStream (and Index.QueryKBStream) turn
+// matching into a streaming computation that emits each confirmed pair
+// the moment heuristics H1–H4 agree on it, in decreasing pair quality.
+// Time-to-first-match is bounded by the cheap blocking prefix rather
+// than KB size, and a budget — max pairs, max comparisons, or a
+// context deadline — truncates the stream to a deterministic prefix of
+// the quality order. Draining an unbudgeted stream yields exactly the
+// match set Resolve reports for the same inputs.
+
+// ScoredPair is one confirmed match of a streaming resolution.
+type ScoredPair struct {
+	// URI1 and URI2 identify the matched entities (first and second KB).
+	URI1 string
+	URI2 string
+	// Score orders the stream: emitted scores never increase. The
+	// integer part is the heuristic tier (name matches score highest,
+	// then values, then rank aggregation); the fraction ranks pairs
+	// within a tier by their schedule position.
+	Score float64
+	// Heuristic names the proposing heuristic: "name" (H1), "value"
+	// (H2), or "rank" (H3). Reciprocity (H4) filters, it never proposes.
+	Heuristic string
+}
+
+// StreamStrategy selects the pair-quality scheduler of a streaming
+// resolution. Both strategies surface the pairs with the rarest shared
+// evidence first; they differ in how block weights become a visit
+// order.
+type StreamStrategy int
+
+const (
+	// WeightOrdered visits entities by the ARCS weight of their rarest
+	// shared token block, descending — comparison scheduling à la
+	// progressive meta-blocking. The default.
+	WeightOrdered StreamStrategy = iota
+	// BlockRoundRobin walks the token blocks in decreasing ARCS weight
+	// and takes one yet-unseen entity from each per round — the
+	// block-centric scheduling variant.
+	BlockRoundRobin
+)
+
+// StreamOption customizes one ResolveStream (or QueryKBStream) run.
+type StreamOption func(*streamOptions)
+
+type streamOptions struct {
+	maxPairs       int
+	maxComparisons int64
+	strategy       StreamStrategy
+}
+
+// WithMaxPairs stops the stream after n emitted pairs (n <= 0 means
+// unlimited). The emitted pairs are always the first n of the
+// unbudgeted stream.
+func WithMaxPairs(n int) StreamOption {
+	return func(o *streamOptions) { o.maxPairs = n }
+}
+
+// WithMaxComparisons stops the stream once the lazy candidate scoring
+// has accumulated n entity-entity contributions (n <= 0 means
+// unlimited). The cut point is deterministic: the same budget always
+// yields the same prefix.
+func WithMaxComparisons(n int64) StreamOption {
+	return func(o *streamOptions) { o.maxComparisons = n }
+}
+
+// WithStreamStrategy selects the pair-quality scheduler.
+func WithStreamStrategy(s StreamStrategy) StreamOption {
+	return func(o *streamOptions) { o.strategy = s }
+}
+
+// heuristicName maps the pipeline's heuristic tags onto the public
+// wire names (matching Result.ByName/ByValue/ByRank).
+func heuristicName(h uint8) string {
+	switch h {
+	case 1:
+		return "name"
+	case 2:
+		return "value"
+	case 3:
+		return "rank"
+	}
+	return fmt.Sprintf("h%d", h)
+}
+
+// ResolveStream runs the MinoanER matching process as an anytime
+// computation: the returned channel yields each confirmed match the
+// moment H1–H4 agree on it, best pairs first, and closes when the
+// stream is drained, a budget is reached, or ctx is cancelled (a
+// deadline on ctx is the wall-clock budget). Configuration errors are
+// reported synchronously, before any work starts.
+//
+// Draining the channel with no budget yields exactly the matches
+// Resolve reports for the same inputs — streaming changes the order
+// and the latency to the first pair, never the result. The emission
+// order is deterministic for a given strategy.
+//
+// The caller must either drain the channel or cancel ctx; abandoning
+// the channel with a live context leaks the resolving goroutine.
+func ResolveStream(ctx context.Context, kb1, kb2 *KB, cfg Config, opts ...StreamOption) (<-chan ScoredPair, error) {
+	var o streamOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ccfg := cfg.internal()
+	ccfg.Strategy = pipeline.StreamStrategy(o.strategy)
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
+	budget := pipeline.StreamBudget{MaxPairs: o.maxPairs, MaxComparisons: o.maxComparisons}
+	ch := make(chan ScoredPair)
+	go func() {
+		defer close(ch)
+		// Budget expiry and cancellation both surface as a closed
+		// channel: an anytime consumer keeps every pair received so far.
+		_ = core.RunStream(ctx, kb1.kb, kb2.kb, ccfg, budget, func(sp pipeline.ScoredPair) bool {
+			out := ScoredPair{
+				URI1:      kb1.kb.URI(sp.Pair.E1),
+				URI2:      kb2.kb.URI(sp.Pair.E2),
+				Score:     sp.Score,
+				Heuristic: heuristicName(sp.Heuristic),
+			}
+			select {
+			case ch <- out:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return ch, nil
+}
+
+// QueryKBStream resolves a delta KB against the index's first KB as an
+// anytime stream (the streaming counterpart of QueryKB): confirmed
+// matches arrive best-first on the returned channel, under the same
+// budget and strategy options as ResolveStream. Draining it unbudgeted
+// yields exactly QueryKB's match set for the same delta. The call
+// answers from one epoch; concurrent mutations never tear it.
+func (ix *Index) QueryKBStream(ctx context.Context, delta *KB, opts ...StreamOption) (<-chan ScoredPair, error) {
+	e := ix.cur.Load()
+	if err := e.materializeKB1(); err != nil {
+		return nil, err
+	}
+	return ResolveStream(ctx, e.kb1, delta, e.cfg, opts...)
+}
+
+// materializeKB2 forces KB2's full tier — what full-pair streaming
+// reads. A nil check on eager indexes.
+func (e *epoch) materializeKB2() error {
+	if err := e.kb2.kb.Materialize(); err != nil {
+		return fmt.Errorf("%w: kb2: %v", ErrSnapshotCorrupt, err)
+	}
+	return nil
+}
